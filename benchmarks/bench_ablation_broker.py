@@ -1,0 +1,64 @@
+"""A1 — §3.2 ablation: brokerless (ZeroMQ) vs broker-relayed transport.
+
+Paper: "While publish subscribe systems such as Kafka or queue based system
+RabbitMQ have brokers in their systems, these brokers will incur extra data
+communication overheads because the data was first sent to the broker and
+then forwarded to the final destination."
+"""
+
+from repro.apps import FitnessApp, fitness_pipeline_config, install_fitness_services
+from repro.core import VideoPipe
+from repro.devices import DeviceSpec
+from repro.metrics import format_table
+
+from .conftest import DURATION_S, WARMUP_S
+
+
+def run_with_transport(recognizer, transport: str):
+    """The fitness pipeline over either transport. The broker runs on a
+    dedicated hub machine, as a Kafka/RabbitMQ deployment would."""
+    kwargs = {"transport": transport}
+    if transport == "broker":
+        kwargs["broker_device"] = "hub"
+    home = VideoPipe(seed=11, **kwargs)
+    if transport == "broker":
+        home.add_device(DeviceSpec(name="hub", kind="desktop", cpu_factor=1.0,
+                                   cores=8, supports_containers=True))
+    for kind in ("phone", "desktop", "tv"):
+        home.add_device(kind)
+    services = install_fitness_services(home, recognizer=recognizer)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(fitness_pipeline_config(fps=20.0, duration_s=DURATION_S))
+    home.run(until=DURATION_S + 1.0)
+    return {
+        "fps": pipeline.metrics.throughput_fps(DURATION_S + 1.0, WARMUP_S),
+        "total_ms": pipeline.metrics.stage_means_ms()["total_duration"],
+    }
+
+
+def test_brokerless_beats_brokered(benchmark, fitness_recognizer):
+    results = {}
+
+    def run():
+        results["zeromq"] = run_with_transport(fitness_recognizer, "zeromq")
+        results["broker"] = run_with_transport(fitness_recognizer, "broker")
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["transport", "end-to-end FPS", "total latency (ms)"],
+        [["ZeroMQ (brokerless)", results["zeromq"]["fps"],
+          results["zeromq"]["total_ms"]],
+         ["Kafka/RabbitMQ-style broker", results["broker"]["fps"],
+          results["broker"]["total_ms"]]],
+        title="§3.2 ablation — transport architecture (20 FPS source)",
+    ))
+    benchmark.extra_info["zeromq_fps"] = round(results["zeromq"]["fps"], 2)
+    benchmark.extra_info["broker_fps"] = round(results["broker"]["fps"], 2)
+
+    # the broker relays every message through an extra device: lower FPS,
+    # higher latency
+    assert results["zeromq"]["fps"] > results["broker"]["fps"] * 1.05
+    assert results["broker"]["total_ms"] > results["zeromq"]["total_ms"] * 1.1

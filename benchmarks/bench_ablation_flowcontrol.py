@@ -1,0 +1,84 @@
+"""A3 — §2.3 ablation: no-queue signaling vs a naively queued pipeline.
+
+Paper: "Queuing the images anywhere inside the pipeline will introduce
+delays which are undesired in real-time applications and dropping frames
+inside the pipeline wastes computation resources … We do not use any queues
+in our design. When the final module is done with its current data, it
+signals the source to send a new frame into the pipeline."
+
+``mode="push"`` disables the credit gate: every captured frame enters the
+pipeline and queues at the bottleneck. Latency then grows without bound
+while the signal design keeps it flat and sheds load at the source.
+"""
+
+import numpy as np
+
+from repro.apps import FitnessApp, fitness_pipeline_config, install_fitness_services
+from repro.core import VideoPipe
+from repro.metrics import format_table
+
+DURATION_S = 20.0
+
+
+def run_mode(recognizer, mode: str):
+    home = VideoPipe.paper_testbed(seed=19)
+    services = install_fitness_services(home, recognizer=recognizer)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(
+        fitness_pipeline_config(fps=20.0, duration_s=DURATION_S, mode=mode)
+    )
+    home.run(until=DURATION_S + 1.0)
+    metrics = pipeline.metrics
+    latencies = metrics.total_latencies
+    half = len(latencies) // 2
+    source = pipeline.module_instance("video_streaming_module").source
+    pose_module = pipeline.module("pose_detector_module")
+    return {
+        "early_latency_ms": float(np.mean(latencies[: max(1, half // 2)])) * 1e3,
+        "late_latency_ms": float(np.mean(latencies[half:])) * 1e3,
+        "max_mailbox": pose_module.max_mailbox_depth,
+        "dropped_at_source": source.dropped_count,
+        "fps": metrics.throughput_fps(DURATION_S + 1.0, warmup_s=2.0),
+    }
+
+
+def test_no_queue_design_keeps_latency_flat(benchmark, fitness_recognizer):
+    results = {}
+
+    def run():
+        results["signal"] = run_mode(fitness_recognizer, "signal")
+        results["push"] = run_mode(fitness_recognizer, "push")
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    signal, push = results["signal"], results["push"]
+    print()
+    print(format_table(
+        ["metric", "no-queue (signal)", "queued (push)"],
+        [["early frames latency (ms)", signal["early_latency_ms"],
+          push["early_latency_ms"]],
+         ["late frames latency (ms)", signal["late_latency_ms"],
+          push["late_latency_ms"]],
+         ["peak pose-module mailbox depth", signal["max_mailbox"],
+          push["max_mailbox"]],
+         ["frames dropped at source", signal["dropped_at_source"],
+          push["dropped_at_source"]],
+         ["throughput (fps)", signal["fps"], push["fps"]]],
+        title="§2.3 ablation — flow control at a 20 FPS source (capacity ~11)",
+        float_format="{:.1f}",
+    ))
+    benchmark.extra_info["signal_late_latency_ms"] = round(
+        signal["late_latency_ms"], 1)
+    benchmark.extra_info["push_late_latency_ms"] = round(
+        push["late_latency_ms"], 1)
+
+    # no-queue: latency stays flat; overload is shed at the source
+    assert signal["late_latency_ms"] < signal["early_latency_ms"] * 2.0
+    assert signal["max_mailbox"] <= 2
+    assert signal["dropped_at_source"] > 50
+    # queued: the backlog grows and so does latency, without bound
+    assert push["late_latency_ms"] > push["early_latency_ms"] * 3.0
+    assert push["late_latency_ms"] > signal["late_latency_ms"] * 5.0
+    assert push["max_mailbox"] > 20
+    assert push["dropped_at_source"] == 0

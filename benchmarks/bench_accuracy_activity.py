@@ -1,0 +1,62 @@
+"""E4 — §4.1.2: activity recognition accuracy on a withheld test set.
+
+Paper: "The algorithm is trained on all available labelled data except for a
+withheld test set. The test accuracy on a withheld test set was above 90%.
+This is higher than generally reported in the literature because our system
+has a standardized viewing distance and standardized viewing angle."
+"""
+
+from repro.metrics import format_table
+from repro.vision import ActivityRecognizer, generate_activity_dataset
+from repro.vision.pose_estimator import PoseNoiseModel
+
+ACTIVITIES = ("squat", "jumping_jack", "lunge", "lateral_raise", "stand")
+
+
+def test_activity_accuracy_above_90(benchmark):
+    results = {}
+
+    def run():
+        dataset = generate_activity_dataset(
+            activities=ACTIVITIES, train_subjects=6, test_subjects=3,
+            duration_s=8.0, seed=17,
+        )
+        recognizer = ActivityRecognizer(k=5).fit(
+            dataset.train_windows, dataset.train_labels
+        )
+        results["accuracy"] = recognizer.accuracy(
+            dataset.test_windows, dataset.test_labels
+        )
+        results["train"] = len(dataset.train_windows)
+        results["test"] = len(dataset.test_windows)
+        # robustness: double the estimator noise and re-evaluate
+        noisy = generate_activity_dataset(
+            activities=ACTIVITIES, train_subjects=6, test_subjects=3,
+            duration_s=8.0, seed=17,
+            noise=PoseNoiseModel(sigma_frac=0.016, dropout_prob=0.02),
+        )
+        noisy_rec = ActivityRecognizer(k=5).fit(
+            noisy.train_windows, noisy.train_labels
+        )
+        results["accuracy_2x_noise"] = noisy_rec.accuracy(
+            noisy.test_windows, noisy.test_labels
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["metric", "measured", "paper"],
+        [["withheld-subject accuracy", results["accuracy"], "> 0.90"],
+         ["accuracy at 2x estimator noise", results["accuracy_2x_noise"], "-"],
+         ["train windows", results["train"], "-"],
+         ["test windows", results["test"], "-"]],
+        title="§4.1.2 — kNN activity recognition on 15-frame pose windows",
+        float_format="{:.3f}",
+    ))
+    benchmark.extra_info["accuracy"] = round(results["accuracy"], 4)
+    benchmark.extra_info["accuracy_2x_noise"] = round(
+        results["accuracy_2x_noise"], 4)
+
+    assert results["accuracy"] > 0.90  # the paper's bar

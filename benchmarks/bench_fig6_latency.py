@@ -1,0 +1,62 @@
+"""E1 — Figure 6: per-stage latency, VideoPipe vs baseline.
+
+Paper: "VideoPipe achieves lower latency for loading frames, pose detection,
+activity detection, rep counter and the pipeline. Among which, the delay for
+the pose detection is much lower than the remote API calls in the baseline."
+"""
+
+from repro.metrics import format_table
+
+from .conftest import run_fitness
+
+STAGES = ("load_frame", "pose_detection", "activity_detection",
+          "rep_count", "total_duration")
+
+#: Approximate bar heights read off the paper's Fig. 6 (milliseconds).
+PAPER_FIG6 = {
+    "videopipe": {"load_frame": 12, "pose_detection": 45,
+                  "activity_detection": 15, "rep_count": 8,
+                  "total_duration": 105},
+    "baseline": {"load_frame": 17, "pose_detection": 85,
+                 "activity_detection": 20, "rep_count": 12,
+                 "total_duration": 125},
+}
+
+
+def test_fig6_per_stage_latency(benchmark, fitness_recognizer):
+    results = {}
+
+    def run():
+        for architecture in ("videopipe", "baseline"):
+            _, metrics = run_fitness(fitness_recognizer, architecture, fps=10.0)
+            results[architecture] = metrics.stage_means_ms()
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["stage", "VideoPipe (ms)", "Baseline (ms)",
+         "paper VP (~ms)", "paper base (~ms)"],
+        [[stage,
+          results["videopipe"][stage],
+          results["baseline"][stage],
+          PAPER_FIG6["videopipe"][stage],
+          PAPER_FIG6["baseline"][stage]]
+         for stage in STAGES],
+        title="Fig. 6 — per-stage latency at a 10 FPS source",
+        float_format="{:.1f}",
+    ))
+
+    for stage in STAGES:
+        benchmark.extra_info[f"videopipe_{stage}_ms"] = round(
+            results["videopipe"][stage], 2)
+        benchmark.extra_info[f"baseline_{stage}_ms"] = round(
+            results["baseline"][stage], 2)
+        # the reproduction criterion: VideoPipe wins every stage
+        assert results["videopipe"][stage] < results["baseline"][stage], stage
+
+    # and pose detection contributes the bulk of the improvement
+    gaps = {s: results["baseline"][s] - results["videopipe"][s]
+            for s in STAGES if s != "total_duration"}
+    assert max(gaps, key=gaps.get) == "pose_detection"

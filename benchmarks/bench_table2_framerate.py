@@ -1,0 +1,59 @@
+"""E2 — Table 2 (columns 2-3): end-to-end FPS vs source FPS.
+
+Paper row format: Source FPS in {5, 10, 20, 30, 60}; VideoPipe saturates
+around 11 FPS (the pose detector is the bottleneck of the one-frame-in-
+flight pipeline), the baseline around 8.3 FPS.
+"""
+
+from repro.metrics import format_table
+
+from .conftest import run_fitness
+
+SOURCE_RATES = (5.0, 10.0, 20.0, 30.0, 60.0)
+
+PAPER_TABLE2 = {
+    "videopipe": {5: 4.53, 10: 8.21, 20: 11.00, 30: 10.72, 60: 11.03},
+    "baseline": {5: 4.52, 10: 7.79, 20: 8.25, 30: 8.33, 60: 8.01},
+}
+
+
+def test_table2_end_to_end_frame_rates(benchmark, fitness_recognizer):
+    measured = {"videopipe": {}, "baseline": {}}
+
+    def run():
+        for architecture in measured:
+            for fps in SOURCE_RATES:
+                throughput, _ = run_fitness(fitness_recognizer, architecture,
+                                            fps=fps)
+                measured[architecture][int(fps)] = throughput
+        return measured
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["Source FPS", "VideoPipe", "paper", "Baseline", "paper"],
+        [[rate,
+          measured["videopipe"][rate], PAPER_TABLE2["videopipe"][rate],
+          measured["baseline"][rate], PAPER_TABLE2["baseline"][rate]]
+         for rate in (5, 10, 20, 30, 60)],
+        title="Table 2 — end-to-end frame rate (FPS)",
+    ))
+
+    for architecture in measured:
+        for rate, value in measured[architecture].items():
+            benchmark.extra_info[f"{architecture}_{rate}fps"] = round(value, 2)
+
+    vp, base = measured["videopipe"], measured["baseline"]
+    # shape criteria from the paper:
+    # 1. both track the source at 5 FPS
+    assert abs(vp[5] - 5.0) < 0.7 and abs(base[5] - 5.0) < 0.7
+    # 2. VideoPipe saturates near 11 FPS; the baseline near 8.3
+    assert 9.0 < vp[60] < 12.5
+    assert 7.0 < base[60] < 9.5
+    # 3. co-location wins clearly once the source outruns the pipeline
+    for rate in (20, 30, 60):
+        assert vp[rate] > base[rate] * 1.15, rate
+    # 4. saturation: more source FPS stops helping
+    assert abs(vp[60] - vp[30]) < 1.0
+    assert abs(base[60] - base[30]) < 1.0

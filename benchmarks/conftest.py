@@ -1,0 +1,84 @@
+"""Shared benchmark harness pieces.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md's
+experiment index) by running the simulated home and printing the same rows
+the paper reports. Wall-time numbers from pytest-benchmark measure the
+simulator itself; the *reproduction* quantities live in each benchmark's
+printed table and ``extra_info``.
+"""
+
+import pytest
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    gesture_pipeline_config,
+    install_fitness_services,
+    install_gesture_services,
+    train_activity_recognizer,
+    train_gesture_recognizer,
+)
+from repro.core import VideoPipe
+from repro.devices import DeviceSpec
+
+#: Simulated measurement length per configuration (seconds).
+DURATION_S = 25.0
+WARMUP_S = 2.0
+
+
+@pytest.fixture(scope="session")
+def fitness_recognizer():
+    return train_activity_recognizer(seed=11)
+
+
+@pytest.fixture(scope="session")
+def gesture_recognizer():
+    return train_gesture_recognizer(seed=11)
+
+
+def gesture_camera_spec():
+    return DeviceSpec(name="camera", kind="phone", cpu_factor=2.5, cores=8,
+                      supports_containers=False)
+
+
+def run_fitness(recognizer, architecture, fps, seed=11, duration=DURATION_S,
+                transport="zeromq", broker_device=None, pose_replicas=1):
+    """One fitness-pipeline run; returns (throughput_fps, metrics)."""
+    kwargs = {"transport": transport}
+    if broker_device:
+        kwargs["broker_device"] = broker_device
+    home = VideoPipe.paper_testbed(seed=seed, **kwargs)
+    services = install_fitness_services(
+        home, recognizer=recognizer,
+        baseline_layout=(architecture == "baseline"),
+        pose_replicas=pose_replicas,
+    )
+    app = FitnessApp(home, services, architecture=architecture)
+    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    home.run(until=duration + 1.0)
+    throughput = pipeline.metrics.throughput_fps(duration + 1.0, WARMUP_S)
+    return throughput, pipeline.metrics
+
+
+def run_shared(fitness_recognizer, gesture_recognizer, fps, seed=13,
+               duration=DURATION_S, pose_replicas=1, autoscale_policy=None):
+    """Fitness + gesture pipelines sharing one pose service.
+
+    Returns (fitness_fps, gesture_fps, home).
+    """
+    home = VideoPipe.paper_testbed(seed=seed)
+    home.add_device(gesture_camera_spec())
+    fitness = install_fitness_services(home, recognizer=fitness_recognizer,
+                                       pose_replicas=pose_replicas)
+    install_gesture_services(home, recognizer=gesture_recognizer)
+    if autoscale_policy is not None:
+        home.enable_autoscaling(autoscale_policy)
+    app = FitnessApp(home, fitness)
+    p_fit = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    p_gest = home.deploy_pipeline(
+        gesture_pipeline_config(fps=fps, duration_s=duration)
+    )
+    home.run(until=duration + 1.0)
+    f_fit = p_fit.metrics.throughput_fps(duration + 1.0, WARMUP_S)
+    f_gest = p_gest.metrics.throughput_fps(duration + 1.0, WARMUP_S)
+    return f_fit, f_gest, home

@@ -1,0 +1,52 @@
+"""The paper's applications, built on the public VideoPipe API."""
+
+from . import modules  # noqa: F401 - registers the module includes
+from .falldetect import fall_pipeline_config
+from .fitness import (
+    FITNESS_ACTIVITIES,
+    FITNESS_LISTING,
+    FitnessApp,
+    FitnessServices,
+    fitness_pipeline_config,
+    fitness_pipeline_from_listing,
+    install_fitness_services,
+    train_activity_recognizer,
+)
+from .gesture import (
+    DEFAULT_BINDINGS,
+    GESTURE_ACTIVITIES,
+    GestureClassifierService,
+    GestureServices,
+    gesture_pipeline_config,
+    install_gesture_services,
+    train_gesture_recognizer,
+)
+from .scene import (
+    MovingObject,
+    SceneCamera,
+    default_scene,
+    scene_pipeline_config,
+)
+
+__all__ = [
+    "DEFAULT_BINDINGS",
+    "FITNESS_ACTIVITIES",
+    "FITNESS_LISTING",
+    "FitnessApp",
+    "fitness_pipeline_from_listing",
+    "FitnessServices",
+    "GESTURE_ACTIVITIES",
+    "GestureClassifierService",
+    "GestureServices",
+    "MovingObject",
+    "SceneCamera",
+    "default_scene",
+    "fall_pipeline_config",
+    "scene_pipeline_config",
+    "fitness_pipeline_config",
+    "gesture_pipeline_config",
+    "install_fitness_services",
+    "install_gesture_services",
+    "train_activity_recognizer",
+    "train_gesture_recognizer",
+]

@@ -1,0 +1,58 @@
+"""The fall-detection pipeline (§4.3).
+
+"In addition to the above two applications, we also implement a fall
+detection application pipeline with VideoPipe." Shares the pose detector;
+the fall logic lives in a module (it is inherently stateful — it watches
+hip trajectories over time) and raises alerts through the IoT actuator.
+"""
+
+from __future__ import annotations
+
+from . import modules  # noqa: F401 - ensure module includes are registered
+from ..pipeline.config import ModuleConfig, PipelineConfig
+
+
+def fall_pipeline_config(
+    name: str = "falldetect",
+    fps: float = 10.0,
+    duration_s: float | None = None,
+    motion: str = "fall",
+    base_port: int = 5900,
+    source_device: str = "camera",
+    alert_target: str = "caregiver_alert",
+) -> PipelineConfig:
+    """streaming → pose → fall detection (alerts via IoT)."""
+    return PipelineConfig(
+        name=name,
+        modules=[
+            ModuleConfig(
+                name="fall_video_module",
+                include="./VideoStreamingModule.js",
+                endpoint=f"bind#tcp://*:{base_port}",
+                next_modules=["fall_pose_module"],
+                device=source_device,
+                params={
+                    "fps": fps,
+                    "motion": motion,
+                    "duration_s": duration_s,
+                },
+            ),
+            ModuleConfig(
+                name="fall_pose_module",
+                include="./PoseDetectorModule.js",
+                services=["pose_detector"],
+                endpoint=f"bind#tcp://*:{base_port + 1}",
+                next_modules=["fall_detector_module"],
+                params={"forward_frame": False},
+            ),
+            ModuleConfig(
+                name="fall_detector_module",
+                include="./FallDetectorModule.js",
+                services=["iot_controller"],
+                endpoint=f"bind#tcp://*:{base_port + 2}",
+                next_modules=[],
+                params={"alert_target": alert_target},
+            ),
+        ],
+        source="fall_video_module",
+    )

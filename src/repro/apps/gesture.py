@@ -1,0 +1,150 @@
+"""Gesture control for IoT (§4.2) — the paper's second evaluated pipeline.
+
+"With the same pose detector service, we use a similar activity classifier
+to support activities, such as 'waving' and 'clapping'." Crucially for
+Table 2's fourth column, this pipeline **shares** the pose detector service
+with the fitness pipeline; only the classifier differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import modules  # noqa: F401 - ensure module includes are registered
+from ..core.videopipe import VideoPipe
+from ..pipeline.config import ModuleConfig, PipelineConfig
+from ..services.builtin.activity import ActivityClassifierService
+from ..services.builtin.iot import IoTActuatorService, IoTDeviceFleet
+from ..vision.activity import ActivityRecognizer
+from ..vision.datasets import generate_activity_dataset
+
+#: The gesture vocabulary; "stand" is the rest class.
+GESTURE_ACTIVITIES = ("wave", "clap", "stand")
+
+#: Default gesture→device bindings from §4.2.
+DEFAULT_BINDINGS = {
+    "clap": "living_room_light",
+    "wave": "doorbell_camera",
+}
+
+
+class GestureClassifierService(ActivityClassifierService):
+    """The gesture-vocabulary twin of the activity classifier.
+
+    "The activity classifier can be trained with custom actions that
+    trigger custom behaviours" — a separately trained model behind its own
+    service name, while the pose detector stays shared.
+    """
+
+    name = "gesture_classifier"
+    default_port = 7009
+
+
+def train_gesture_recognizer(
+    seed: int = 0, train_subjects: int = 5
+) -> ActivityRecognizer:
+    """Train the kNN model on the gesture vocabulary."""
+    dataset = generate_activity_dataset(
+        activities=GESTURE_ACTIVITIES,
+        train_subjects=train_subjects,
+        test_subjects=1,
+        duration_s=6.0,
+        seed=seed,
+    )
+    return ActivityRecognizer(k=5).fit(dataset.train_windows, dataset.train_labels)
+
+
+@dataclass(slots=True)
+class GestureServices:
+    """Handles to the gesture pipeline's services."""
+
+    classifier: GestureClassifierService
+    iot: IoTActuatorService
+
+    @property
+    def fleet(self) -> IoTDeviceFleet:
+        return self.iot.fleet
+
+
+def install_gesture_services(
+    home: VideoPipe,
+    recognizer: ActivityRecognizer | None = None,
+    compute_device: str = "desktop",
+    iot_device: str = "tv",
+    bindings: dict[str, str] | None = None,
+) -> GestureServices:
+    """Install the gesture classifier (container, on the compute device)
+    and the IoT actuator (native, near the controlled devices).
+
+    The pose detector is *not* installed here — the pipeline reuses
+    whichever pose service the home already runs (service sharing, §5.2.2).
+    """
+    recognizer = recognizer or train_gesture_recognizer()
+    fleet = IoTDeviceFleet()
+    for target in (bindings or DEFAULT_BINDINGS).values():
+        fleet.ensure(target)
+    fleet.ensure("caregiver_alert")
+    services = GestureServices(
+        classifier=GestureClassifierService(recognizer),
+        iot=IoTActuatorService(fleet),
+    )
+    home.deploy_service(services.classifier, compute_device)
+    home.deploy_service(services.iot, iot_device, native=True)
+    return services
+
+
+def gesture_pipeline_config(
+    name: str = "gesture",
+    fps: float = 10.0,
+    duration_s: float | None = None,
+    motion: str = "clap",
+    mode: str = "signal",
+    base_port: int = 5880,
+    source_device: str = "camera",
+    bindings: dict[str, str] | None = None,
+) -> PipelineConfig:
+    """streaming → pose → gesture classification → IoT control."""
+    return PipelineConfig(
+        name=name,
+        modules=[
+            ModuleConfig(
+                name="gesture_video_module",
+                include="./VideoStreamingModule.js",
+                endpoint=f"bind#tcp://*:{base_port}",
+                next_modules=["gesture_pose_module"],
+                device=source_device,
+                params={
+                    "fps": fps,
+                    "motion": motion,
+                    "duration_s": duration_s,
+                    "mode": mode,
+                    "period_s": 1.2,
+                },
+            ),
+            ModuleConfig(
+                name="gesture_pose_module",
+                include="./PoseDetectorModule.js",
+                services=["pose_detector"],
+                endpoint=f"bind#tcp://*:{base_port + 1}",
+                next_modules=["gesture_classifier_module"],
+                params={"forward_frame": False},
+            ),
+            ModuleConfig(
+                name="gesture_classifier_module",
+                include="./ActivityDetectorModule.js",
+                services=["gesture_classifier"],
+                endpoint=f"bind#tcp://*:{base_port + 2}",
+                next_modules=["gesture_control_module"],
+                params={"service": "gesture_classifier"},
+            ),
+            ModuleConfig(
+                name="gesture_control_module",
+                include="./GestureControlModule.js",
+                services=["iot_controller"],
+                endpoint=f"bind#tcp://*:{base_port + 3}",
+                next_modules=[],
+                params={"bindings": dict(bindings or DEFAULT_BINDINGS)},
+            ),
+        ],
+        source="gesture_video_module",
+    )

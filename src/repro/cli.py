@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — the home inventory this build ships (devices, services, apps);
+* ``table2`` — a quick Table-2 reproduction sweep (both architectures);
+* ``fig6`` — a quick Fig-6 per-stage latency comparison;
+* ``demo`` — run the fitness pipeline once and print its metrics.
+
+These are fast spot-checks; the full assertion-bearing harness lives in
+``benchmarks/`` (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+    train_activity_recognizer,
+)
+from .core import VideoPipe
+from .devices import CATALOG, make_spec
+from .metrics import format_table
+
+FIG6_STAGES = ("load_frame", "pose_detection", "activity_detection",
+               "rep_count", "total_duration")
+
+
+def _run_fitness(recognizer, architecture: str, fps: float, duration: float,
+                 seed: int):
+    home = VideoPipe.paper_testbed(seed=seed)
+    services = install_fitness_services(
+        home, recognizer=recognizer,
+        baseline_layout=(architecture == "baseline"),
+    )
+    app = FitnessApp(home, services, architecture=architecture)
+    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    home.run(until=duration + 1.0)
+    fps_out = pipeline.metrics.throughput_fps(duration + 1.0, warmup_s=2.0)
+    return fps_out, pipeline.metrics.stage_means_ms(), services
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+    from .runtime.registry import registered_modules
+    import repro.apps  # noqa: F401 - ensure app modules registered
+
+    print(f"VideoPipe reproduction v{__version__}")
+    print("\ndevice catalog:")
+    rows = []
+    for kind in sorted(CATALOG):
+        spec = make_spec(kind)
+        rows.append([kind, f"{spec.cpu_factor:.1f}x", spec.cores,
+                     f"{spec.memory_mb} MB",
+                     "yes" if spec.supports_containers else "no", spec.os])
+    print(format_table(
+        ["kind", "cpu", "cores", "memory", "containers", "os"], rows,
+    ))
+    print("\nregistered module includes:")
+    for include in sorted(registered_modules()):
+        print(f"  {include}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    print("training the activity recognizer ...")
+    recognizer = train_activity_recognizer(seed=args.seed)
+    print(f"running the fitness pipeline ({args.fps} fps source,"
+          f" {args.duration:.0f}s) ...")
+    fps, stages, services = _run_fitness(
+        recognizer, "videopipe", args.fps, args.duration, args.seed
+    )
+    print(f"\nend-to-end: {fps:.2f} fps; {services.sink.count} frames shown")
+    print(format_table(
+        ["stage", "mean latency (ms)"],
+        [[s, stages[s]] for s in FIG6_STAGES if s in stages],
+        float_format="{:.1f}",
+    ))
+    last = services.sink.frames[-1]
+    print(f"last overlay: activity={last.label!r} reps={last.reps}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    recognizer = train_activity_recognizer(seed=args.seed)
+    rows = []
+    for fps in (5.0, 10.0, 20.0, 30.0, 60.0):
+        vp, _, _ = _run_fitness(recognizer, "videopipe", fps, args.duration,
+                                args.seed)
+        base, _, _ = _run_fitness(recognizer, "baseline", fps, args.duration,
+                                  args.seed)
+        rows.append([int(fps), vp, base])
+    print(format_table(
+        ["Source FPS", "VideoPipe", "Baseline"], rows,
+        title="Table 2 (quick sweep — paper: VP saturates ~11, baseline ~8.3)",
+    ))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    recognizer = train_activity_recognizer(seed=args.seed)
+    _, vp_stages, _ = _run_fitness(recognizer, "videopipe", 10.0,
+                                   args.duration, args.seed)
+    _, base_stages, _ = _run_fitness(recognizer, "baseline", 10.0,
+                                     args.duration, args.seed)
+    print(format_table(
+        ["stage", "VideoPipe (ms)", "Baseline (ms)"],
+        [[s, vp_stages[s], base_stages[s]] for s in FIG6_STAGES],
+        title="Fig. 6 (quick run — VideoPipe must win every stage)",
+        float_format="{:.1f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VideoPipe (Middleware Industry '19) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="device catalog and registered modules")
+
+    for name, help_text in (
+        ("demo", "run the fitness pipeline once"),
+        ("table2", "quick Table-2 sweep"),
+        ("fig6", "quick Fig-6 stage comparison"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--seed", type=int, default=7)
+        cmd.add_argument("--duration", type=float, default=20.0,
+                         help="simulated seconds per configuration")
+        if name == "demo":
+            cmd.add_argument("--fps", type=float, default=20.0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "demo": cmd_demo,
+        "table2": cmd_table2,
+        "fig6": cmd_fig6,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

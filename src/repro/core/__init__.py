@@ -1,0 +1,5 @@
+"""The public entry point: the :class:`VideoPipe` home facade."""
+
+from .videopipe import VideoPipe
+
+__all__ = ["VideoPipe"]

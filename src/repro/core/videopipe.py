@@ -1,0 +1,268 @@
+"""The VideoPipe system facade.
+
+One :class:`VideoPipe` instance is a *home*: a kernel (simulated or
+realtime), a Wi-Fi network, a set of heterogeneous devices each running the
+uniform module runtime, a service registry, and a deployer. Applications
+are pipeline configurations deployed into it.
+
+Typical use::
+
+    home = VideoPipe.paper_testbed(seed=7)
+    home.deploy_service(PoseDetectorService(), "desktop")
+    ...
+    pipeline = home.deploy_pipeline(config)
+    home.run_for(30.0)
+    print(pipeline.metrics.throughput_fps(home.now, warmup_s=3.0))
+"""
+
+from __future__ import annotations
+
+from ..devices.catalog import make_spec
+from ..devices.device import Device
+from ..devices.spec import DeviceSpec
+from ..errors import ConfigError, DeviceError
+from ..monitor.monitor import Monitor
+from ..monitor.probes import device_probe, pipeline_probe, service_probe
+from ..net.broker import BrokeredTransport
+from ..net.link import WIFI_HOME, LinkSpec
+from ..net.topology import Topology
+from ..net.transport import BrokerlessTransport, Transport
+from ..pipeline.config import PipelineConfig
+from ..pipeline.deployer import Deployer
+from ..pipeline.pipeline import Pipeline
+from ..pipeline.placement import (
+    COLOCATED,
+    SINGLE_HOST,
+    PlacementPlan,
+    plan_colocated,
+    plan_single_host,
+)
+from ..pipeline.scheduler import COST_OPTIMIZED, plan_cost_optimized
+from ..runtime.module import Module
+from ..runtime.moduleruntime import ModuleRuntime
+from ..services.base import Service
+from ..services.host import ServiceHost
+from ..services.registry import ServiceRegistry
+from ..services.scaling import AutoScaler, ScalingPolicy
+from ..sim.kernel import Kernel, RealtimeKernel
+from ..sim.rng import RngStreams
+
+
+class VideoPipe:
+    """A home full of devices, ready to run video pipelines."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        realtime: bool = False,
+        speed: float = 1.0,
+        wifi: LinkSpec | None = None,
+        transport: str = "zeromq",
+        broker_device: str | None = None,
+    ) -> None:
+        self.kernel: Kernel = RealtimeKernel(speed) if realtime else Kernel()
+        self.rng = RngStreams(seed)
+        self.topology = Topology(self.kernel, self.rng)
+        self.topology.add_wifi("wifi", wifi or WIFI_HOME)
+        self.devices: dict[str, Device] = {}
+        self.registry = ServiceRegistry()
+        self._transport_kind = transport
+        self._broker_device = broker_device
+        self.transport: Transport | None = None
+        self.deployer: Deployer | None = None
+        self.autoscaler: AutoScaler | None = None
+        self.monitor: Monitor | None = None
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def paper_testbed(cls, seed: int = 0, **kwargs) -> "VideoPipe":
+        """The §5.1 setup: 2018 flagship phone + desktop + 4K TV on Wi-Fi."""
+        home = cls(seed=seed, **kwargs)
+        order = ["phone", "desktop", "tv"]
+        broker = kwargs.get("broker_device")
+        if broker in order:
+            # the broker must join the network before the lazily-created
+            # brokered transport first resolves it
+            order.remove(broker)
+            order.insert(0, broker)
+        for kind in order:
+            home.add_device(kind)
+        return home
+
+    def add_device(self, spec: DeviceSpec | str) -> Device:
+        """Join a device to the home Wi-Fi and start its module runtime."""
+        if isinstance(spec, str):
+            spec = make_spec(spec)
+        if spec.name in self.devices:
+            raise DeviceError(f"device {spec.name!r} already exists")
+        device = Device(self.kernel, spec, self.rng)
+        self.topology.attach(spec.name, "wifi")
+        self.devices[spec.name] = device
+        ModuleRuntime(self.kernel, device, self._get_transport())
+        if self.monitor is not None:
+            self.monitor.add_probe(f"device/{spec.name}", device_probe(device))
+        return device
+
+    def device(self, name: str) -> Device:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise DeviceError(f"unknown device {name!r}")
+
+    def _get_transport(self) -> Transport:
+        if self.transport is None:
+            if self._transport_kind == "zeromq":
+                self.transport = BrokerlessTransport(self.kernel, self.topology)
+            elif self._transport_kind == "broker":
+                if self._broker_device is None:
+                    raise ConfigError("broker transport needs broker_device")
+                # the broker is one of the home devices, so it must be the
+                # first device added to the home
+                self.transport = BrokeredTransport(
+                    self.kernel, self.topology, self._broker_device
+                )
+            else:
+                raise ConfigError(f"unknown transport {self._transport_kind!r}")
+        return self.transport
+
+    # -- services ----------------------------------------------------------------
+    def deploy_service(
+        self,
+        service: Service,
+        device_name: str,
+        replicas: int = 1,
+        native: bool = False,
+        port: int | None = None,
+    ) -> ServiceHost:
+        """Host a stateless service on a device.
+
+        Container services require a container-capable device; ``native``
+        services (Fig. 4's blue boxes) run anywhere.
+        """
+        device = self.device(device_name)
+        host = ServiceHost(
+            self.kernel,
+            device,
+            service,
+            self._get_transport(),
+            replicas=replicas,
+            native=native,
+            port=port,
+        )
+        if native:
+            device.register_native_service_host(host)
+        else:
+            device.register_service_host(host)
+        self.registry.register(host)
+        if self.autoscaler is not None:
+            self.autoscaler.watch(host)
+        if self.monitor is not None:
+            self.monitor.add_probe(
+                f"service/{service.name}@{device_name}", service_probe(host)
+            )
+        return host
+
+    def enable_monitoring(self, period_s: float = 0.5) -> Monitor:
+        """Turn on the §7 future-work monitor: every current and future
+        device, service host and pipeline gets a probe."""
+        if self.monitor is None:
+            self.monitor = Monitor(self.kernel, period_s=period_s)
+            for name, device in self.devices.items():
+                self.monitor.add_probe(f"device/{name}", device_probe(device))
+            for service_name in self.registry.service_names():
+                for host in self.registry.hosts_of(service_name):
+                    self.monitor.add_probe(
+                        f"service/{service_name}@{host.device.name}",
+                        service_probe(host),
+                    )
+            self.monitor.start()
+        return self.monitor
+
+    def enable_autoscaling(self, policy: ScalingPolicy | None = None) -> AutoScaler:
+        """Turn on the §7 future-work autoscaler for all current and future
+        service hosts."""
+        if self.autoscaler is None:
+            self.autoscaler = AutoScaler(self.kernel, policy)
+            for name in self.registry.service_names():
+                for host in self.registry.hosts_of(name):
+                    self.autoscaler.watch(host)
+            self.autoscaler.start()
+        return self.autoscaler
+
+    # -- pipelines ------------------------------------------------------------------
+    def plan(
+        self,
+        config: PipelineConfig,
+        strategy: str = COLOCATED,
+        default_device: str | None = None,
+        host_device: str | None = None,
+    ) -> PlacementPlan:
+        """Compute a placement without deploying (inspection/testing)."""
+        if strategy == COLOCATED:
+            default = default_device or next(iter(self.devices))
+            return plan_colocated(config, self.devices, self.registry, default)
+        if strategy == SINGLE_HOST:
+            host = host_device or next(iter(self.devices))
+            return plan_single_host(config, self.devices, host)
+        if strategy == COST_OPTIMIZED:
+            default = default_device or next(iter(self.devices))
+            return plan_cost_optimized(
+                config, self.devices, self.registry, self.topology, default
+            )
+        raise ConfigError(f"unknown placement strategy {strategy!r}")
+
+    def deploy_pipeline(
+        self,
+        config: PipelineConfig,
+        strategy: str = COLOCATED,
+        default_device: str | None = None,
+        host_device: str | None = None,
+        module_instances: dict[str, Module] | None = None,
+        prefer_local_services: bool = True,
+        placement: PlacementPlan | None = None,
+    ) -> Pipeline:
+        """Place and deploy a pipeline; returns its handle."""
+        if self.deployer is None:
+            self.deployer = Deployer(
+                self.kernel, self._get_transport(), self.devices, self.registry
+            )
+        if placement is None:
+            placement = self.plan(config, strategy, default_device, host_device)
+        pipeline = self.deployer.deploy(
+            config,
+            placement,
+            module_instances=module_instances,
+            prefer_local_services=prefer_local_services,
+        )
+        if self.monitor is not None:
+            self.monitor.add_probe(
+                f"pipeline/{pipeline.name}", pipeline_probe(pipeline)
+            )
+        return pipeline
+
+    def migrate_module(self, pipeline: Pipeline, module_name: str,
+                       target_device: str) -> None:
+        """Live-migrate a module (with its encapsulated state) to another
+        device; peers re-route automatically through the shared wiring."""
+        if self.deployer is None:
+            raise ConfigError("nothing deployed yet")
+        self.deployer.migrate(pipeline, module_name, target_device)
+
+    # -- execution ----------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def run(self, until: float | None = None) -> float:
+        """Run the home until *until* (or until idle)."""
+        return self.kernel.run(until=until)
+
+    def run_for(self, seconds: float) -> float:
+        """Run the home for *seconds* more simulated seconds."""
+        return self.kernel.run(until=self.kernel.now + seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<VideoPipe {len(self.devices)} devices,"
+            f" services={self.registry.service_names()}>"
+        )

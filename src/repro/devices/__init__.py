@@ -1,0 +1,29 @@
+"""Heterogeneous edge devices: specs, presets, CPU model."""
+
+from .catalog import (
+    CATALOG,
+    desktop,
+    flagship_phone_2018,
+    laptop,
+    make_spec,
+    smart_fridge,
+    smart_tv_4k,
+    smartwatch,
+)
+from .cpu import Cpu
+from .device import Device
+from .spec import DeviceSpec
+
+__all__ = [
+    "CATALOG",
+    "Cpu",
+    "Device",
+    "DeviceSpec",
+    "desktop",
+    "flagship_phone_2018",
+    "laptop",
+    "make_spec",
+    "smart_fridge",
+    "smart_tv_4k",
+    "smartwatch",
+]

@@ -1,0 +1,115 @@
+"""Preset device specs matching the paper's testbed and the wider home.
+
+The evaluation hardware (§5.1): "The phone is one of the flagship Android
+phones in 2018 with 6GB of main memory and 128 GB of storage", a desktop
+that hosts the container services, and a 4K TV that renders the output.
+"""
+
+from __future__ import annotations
+
+from .spec import DeviceSpec
+
+
+def flagship_phone_2018(name: str = "phone") -> DeviceSpec:
+    """The paper's capture device: capable, but no containers and a mobile
+    SoC ≈2.5x slower than the desktop on vision workloads."""
+    return DeviceSpec(
+        name=name,
+        kind="phone",
+        cpu_factor=2.5,
+        cores=8,
+        memory_mb=6144,
+        supports_containers=False,
+        os="android",
+        compute_jitter_cv=0.15,
+    )
+
+
+def desktop(name: str = "desktop") -> DeviceSpec:
+    """The reference machine (cpu_factor 1.0); runs Docker services."""
+    return DeviceSpec(
+        name=name,
+        kind="desktop",
+        cpu_factor=1.0,
+        cores=8,
+        memory_mb=16384,
+        supports_containers=True,
+        os="linux",
+        compute_jitter_cv=0.08,
+    )
+
+
+def laptop(name: str = "laptop") -> DeviceSpec:
+    """A container-capable laptop, a bit slower than the desktop."""
+    return DeviceSpec(
+        name=name,
+        kind="laptop",
+        cpu_factor=1.4,
+        cores=4,
+        memory_mb=8192,
+        supports_containers=True,
+        os="linux",
+        compute_jitter_cv=0.12,
+    )
+
+
+def smart_tv_4k(name: str = "tv") -> DeviceSpec:
+    """The display device: a Tizen-like TV; modules only, no containers."""
+    return DeviceSpec(
+        name=name,
+        kind="tv",
+        cpu_factor=3.0,
+        cores=4,
+        memory_mb=3072,
+        supports_containers=False,
+        os="tizen",
+        compute_jitter_cv=0.12,
+    )
+
+
+def smart_fridge(name: str = "fridge") -> DeviceSpec:
+    """A constrained appliance that can still host lightweight modules."""
+    return DeviceSpec(
+        name=name,
+        kind="fridge",
+        cpu_factor=5.0,
+        cores=2,
+        memory_mb=1024,
+        supports_containers=False,
+        os="tizen",
+        compute_jitter_cv=0.20,
+    )
+
+
+def smartwatch(name: str = "watch") -> DeviceSpec:
+    """The most constrained runtime target."""
+    return DeviceSpec(
+        name=name,
+        kind="watch",
+        cpu_factor=8.0,
+        cores=2,
+        memory_mb=768,
+        supports_containers=False,
+        os="tizen",
+        compute_jitter_cv=0.25,
+    )
+
+
+#: Factory lookup by kind.
+CATALOG = {
+    "phone": flagship_phone_2018,
+    "desktop": desktop,
+    "laptop": laptop,
+    "tv": smart_tv_4k,
+    "fridge": smart_fridge,
+    "watch": smartwatch,
+}
+
+
+def make_spec(kind: str, name: str | None = None) -> DeviceSpec:
+    """Instantiate a preset spec by kind, optionally renamed."""
+    try:
+        factory = CATALOG[kind]
+    except KeyError:
+        raise ValueError(f"unknown device kind {kind!r}; known: {sorted(CATALOG)}")
+    return factory(name or kind)

@@ -1,0 +1,60 @@
+"""Device specifications.
+
+The paper's premise: the home is full of heterogeneous devices — phones and
+tablets, TVs and fridges on Tizen-like OSes, laptops and desktops — some of
+which "cannot run container-based applications but can support a high-level
+language … sandboxed within a virtual execution environment" (§1). A
+:class:`DeviceSpec` captures exactly the properties that matter to VideoPipe:
+relative CPU speed, core count, and whether containers (hence services) can
+run there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """Static capabilities of one edge device.
+
+    Attributes:
+        name: unique device name (doubles as its network identity).
+        kind: free-form class ("phone", "desktop", "tv", ...).
+        cpu_factor: compute-time multiplier relative to the reference
+            desktop (2.0 = takes twice as long).
+        cores: number of CPU cores the runtime may occupy.
+        memory_mb: main memory (placement constraint).
+        supports_containers: whether container services can be deployed.
+        os: descriptive OS label.
+        compute_jitter_cv: coefficient of variation on compute times
+            (thermal throttling, scheduler noise).
+    """
+
+    name: str
+    kind: str = "generic"
+    cpu_factor: float = 1.0
+    cores: int = 4
+    memory_mb: int = 4096
+    supports_containers: bool = False
+    os: str = "linux"
+    compute_jitter_cv: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeviceError("device needs a name")
+        if self.cpu_factor <= 0:
+            raise DeviceError("cpu_factor must be positive")
+        if self.cores < 1:
+            raise DeviceError("cores must be >= 1")
+        if self.memory_mb < 1:
+            raise DeviceError("memory_mb must be >= 1")
+
+    def compute_time(self, reference_seconds: float) -> float:
+        """Expected wall time on this device for work that takes
+        *reference_seconds* on the reference desktop."""
+        if reference_seconds < 0:
+            raise DeviceError("compute time must be non-negative")
+        return reference_seconds * self.cpu_factor

@@ -1,0 +1,78 @@
+"""Video frames and frame references.
+
+A :class:`VideoFrame` is what the camera produces: pixel data (optional in
+annotated mode), capture metadata, and — because our camera is synthetic —
+the ground-truth pose used to generate it. A :class:`FrameRef` is the small
+token modules pass around *instead of* the frame when they are co-located,
+the paper's "rather than copying the full image frames to the module, we
+pass on a reference id" design (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..motion.skeleton import Pose
+
+
+@dataclass(slots=True)
+class VideoFrame:
+    """One captured frame.
+
+    Attributes:
+        frame_id: monotone id assigned by the source.
+        source: name of the producing device/camera.
+        capture_time: simulated capture timestamp (seconds).
+        width/height/channels: image geometry.
+        pixels: the image as a (height, width) or (height, width, channels)
+            uint8 array, or ``None`` in annotated (render-free) mode.
+        truth: ground-truth pose of the subject in image coordinates, if a
+            subject is in view (synthetic camera annotation).
+        metadata: free-form extras (exercise label, subject id, ...).
+    """
+
+    frame_id: int
+    source: str
+    capture_time: float
+    width: int = 640
+    height: int = 480
+    channels: int = 3
+    pixels: np.ndarray | None = None
+    truth: Pose | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def raw_size(self) -> int:
+        """Uncompressed size in bytes."""
+        return self.width * self.height * self.channels
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rendered = "rendered" if self.pixels is not None else "annotated"
+        return (
+            f"<VideoFrame #{self.frame_id} {self.width}x{self.height}"
+            f" t={self.capture_time:.3f} {rendered}>"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FrameRef:
+    """A reference id standing in for a frame stored in a device-local
+    :class:`~repro.frames.framestore.FrameStore`.
+
+    Only a few dozen bytes on the wire (vs hundreds of KB for the frame),
+    but only resolvable on the device that holds the store.
+    """
+
+    device: str
+    ref_id: int
+
+    #: Wire-size hint consumed by :func:`repro.net.wire.payload_size`.
+    @property
+    def wire_size(self) -> int:
+        return 24
+
+    def __str__(self) -> str:
+        return f"frame-ref:{self.device}/{self.ref_id}"

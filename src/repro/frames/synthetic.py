@@ -1,0 +1,105 @@
+"""Synthetic frame rendering and real pixel-domain analysis.
+
+The renderer draws the subject's skeleton into a grayscale image — thick
+anti-alias-free limbs plus a head disc over a noisy background — and the
+analysis side recovers a foreground bounding box from *pixels alone*
+(threshold + projection), which is the genuinely image-based part of the
+pose service's work in rendered mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..motion.skeleton import KEYPOINT_INDEX, SKELETON_EDGES, Pose
+
+#: Background gray level and noise amplitude.
+BACKGROUND_LEVEL = 40
+BACKGROUND_NOISE = 6
+#: Foreground (subject) gray level.
+FOREGROUND_LEVEL = 200
+
+
+def _draw_segment(image: np.ndarray, p0: np.ndarray, p1: np.ndarray, thickness: float) -> None:
+    """Paint all pixels within *thickness* of segment p0-p1 (vectorized)."""
+    height, width = image.shape
+    x_min = int(max(0, np.floor(min(p0[0], p1[0]) - thickness)))
+    x_max = int(min(width - 1, np.ceil(max(p0[0], p1[0]) + thickness)))
+    y_min = int(max(0, np.floor(min(p0[1], p1[1]) - thickness)))
+    y_max = int(min(height - 1, np.ceil(max(p0[1], p1[1]) + thickness)))
+    if x_min > x_max or y_min > y_max:
+        return  # fully off-screen
+    ys, xs = np.mgrid[y_min : y_max + 1, x_min : x_max + 1]
+    points = np.stack([xs, ys], axis=-1).astype(np.float64)
+    seg = p1 - p0
+    seg_len2 = float(seg @ seg)
+    if seg_len2 < 1e-12:
+        dist = np.linalg.norm(points - p0, axis=-1)
+    else:
+        t = ((points - p0) @ seg) / seg_len2
+        t = np.clip(t, 0.0, 1.0)
+        nearest = p0 + t[..., None] * seg
+        dist = np.linalg.norm(points - nearest, axis=-1)
+    mask = dist <= thickness
+    image[y_min : y_max + 1, x_min : x_max + 1][mask] = FOREGROUND_LEVEL
+
+
+def render_pose(
+    pose: Pose,
+    width: int = 160,
+    height: int = 120,
+    rng: np.random.Generator | None = None,
+    limb_thickness_frac: float = 0.018,
+) -> np.ndarray:
+    """Render a grayscale frame of *pose* (image coordinates) at the given
+    resolution. ``pose`` may be in any pixel space; pass coordinates already
+    scaled to (width, height)."""
+    if rng is not None:
+        noise = rng.integers(
+            -BACKGROUND_NOISE, BACKGROUND_NOISE + 1, size=(height, width)
+        )
+        image = (BACKGROUND_LEVEL + noise).clip(0, 255).astype(np.uint8)
+    else:
+        image = np.full((height, width), BACKGROUND_LEVEL, dtype=np.uint8)
+
+    thickness = max(1.0, limb_thickness_frac * max(width, height))
+    keypoints = pose.keypoints
+    for a, b in SKELETON_EDGES:
+        if pose.visibility[a] and pose.visibility[b]:
+            _draw_segment(image, keypoints[a], keypoints[b], thickness)
+    # head: a disc at the nose, sized from the ear spread
+    nose = keypoints[KEYPOINT_INDEX["nose"]]
+    ears = keypoints[[KEYPOINT_INDEX["left_ear"], KEYPOINT_INDEX["right_ear"]]]
+    radius = max(2.0, float(np.linalg.norm(ears[0] - ears[1])) * 0.7)
+    _draw_segment(image, nose, nose, radius)
+    return image
+
+
+def scale_pose(pose: Pose, from_size: tuple[int, int], to_size: tuple[int, int]) -> Pose:
+    """Rescale pose pixel coordinates between image resolutions."""
+    sx = to_size[0] / from_size[0]
+    sy = to_size[1] / from_size[1]
+    keypoints = pose.keypoints * np.array([sx, sy])
+    return Pose(keypoints, pose.visibility.copy())
+
+
+def detect_foreground_bbox(
+    image: np.ndarray, threshold: int = 120
+) -> tuple[int, int, int, int] | None:
+    """Find the bounding box of bright (foreground) pixels.
+
+    Real image analysis: threshold, then project onto each axis. Returns
+    (x0, y0, x1, y1) inclusive, or ``None`` when nothing exceeds the
+    threshold (empty scene).
+    """
+    mask = image >= threshold
+    if not mask.any():
+        return None
+    rows = np.flatnonzero(mask.any(axis=1))
+    cols = np.flatnonzero(mask.any(axis=0))
+    return (int(cols[0]), int(rows[0]), int(cols[-1]), int(rows[-1]))
+
+
+def foreground_fraction(image: np.ndarray, threshold: int = 120) -> float:
+    """Fraction of pixels above the foreground threshold."""
+    return float((image >= threshold).mean())

@@ -1,0 +1,226 @@
+"""The paced video source and its no-queue flow control.
+
+The paper's data-flow rule (§2.3): *no queues inside the pipeline*. The
+source holds exactly one credit; it sends a frame when it has credit, and
+regains credit only when the final module signals completion. Camera frames
+that arrive while the pipeline is busy are dropped **at the source**, wasting
+no downstream computation.
+
+``mode="push"`` disables the credit gate — every captured frame enters the
+pipeline — which is the queued architecture the flow-control ablation
+(`bench_ablation_flowcontrol.py`) measures against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..motion.exercises import MotionModel
+from ..motion.trajectory import SubjectParams, subject_pose
+from ..sim.kernel import Kernel
+from .frame import VideoFrame
+from .synthetic import render_pose, scale_pose
+
+
+class SyntheticCamera:
+    """A frame factory: a subject performing a motion in front of a camera.
+
+    In *annotated* mode frames carry only the ground-truth pose (fast; the
+    pose service adds estimation noise and simulated compute). With
+    ``render=True`` frames also carry real rendered pixels at
+    ``render_size`` resolution, exercising the pixel path end to end.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        motion: MotionModel,
+        subject: SubjectParams | None = None,
+        width: int = 640,
+        height: int = 480,
+        render: bool = False,
+        render_size: tuple[int, int] = (160, 120),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.device = device
+        self.motion = motion
+        self.subject = subject or SubjectParams()
+        self.width = width
+        self.height = height
+        self.render = render
+        self.render_size = render_size
+        self.rng = rng
+
+    def capture(self, frame_id: int, t: float) -> VideoFrame:
+        """Produce the frame the camera sees at simulated time *t*."""
+        truth = subject_pose(self.motion, self.subject, t)
+        pixels = None
+        if self.render:
+            scaled = scale_pose(
+                truth, (self.width, self.height), self.render_size
+            )
+            pixels = render_pose(
+                scaled, self.render_size[0], self.render_size[1], rng=self.rng
+            )
+        return VideoFrame(
+            frame_id=frame_id,
+            source=self.device,
+            capture_time=t,
+            width=self.width,
+            height=self.height,
+            channels=3,
+            pixels=pixels,
+            truth=truth,
+            metadata={"activity": self.motion.name},
+        )
+
+
+class VideoSource:
+    """A kernel process that captures frames at a fixed rate and emits them
+    through the credit gate.
+
+    Args:
+        kernel: the event kernel.
+        camera: frame factory (anything with ``capture(frame_id, t)``).
+        fps: camera capture rate.
+        deliver: callback invoked with each frame admitted to the pipeline.
+        mode: ``"signal"`` (paper: one credit, refilled by the sink) or
+            ``"push"`` (no gate; the queued baseline).
+        jitter_cv: coefficient of variation on the inter-frame interval.
+        rng: RNG for capture jitter (required if ``jitter_cv > 0``).
+        credit_timeout_s: optional watchdog — if the sink's ready signal is
+            lost (a crashed module, a mid-flight migration), regenerate the
+            credit after this many seconds instead of stalling forever.
+            ``None`` (default) is the paper's pure protocol.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        camera: SyntheticCamera | Callable[[int, float], VideoFrame],
+        fps: float,
+        deliver: Callable[[VideoFrame], None],
+        mode: str = "signal",
+        jitter_cv: float = 0.0,
+        rng: np.random.Generator | None = None,
+        credit_timeout_s: float | None = None,
+    ) -> None:
+        if fps <= 0:
+            raise ConfigError("fps must be positive")
+        if mode not in ("signal", "push"):
+            raise ConfigError(f"unknown flow mode {mode!r}")
+        if jitter_cv > 0 and rng is None:
+            raise ConfigError("jitter requires an rng")
+        self.kernel = kernel
+        self.camera = camera
+        self.fps = fps
+        self.deliver = deliver
+        if credit_timeout_s is not None and credit_timeout_s <= 0:
+            raise ConfigError("credit_timeout_s must be positive")
+        self.mode = mode
+        self.jitter_cv = jitter_cv
+        self.rng = rng
+        self.credit_timeout_s = credit_timeout_s
+        self._credits = 1
+        self._pending: VideoFrame | None = None
+        self._last_emit_at = 0.0
+        self._running = False
+        # statistics
+        self.captured_count = 0
+        self.emitted_count = 0
+        self.dropped_count = 0
+        self.watchdog_recoveries = 0
+
+    # -- control ---------------------------------------------------------------
+    def start(self, duration_s: float | None = None, max_frames: int | None = None) -> None:
+        """Begin capturing; stops after *duration_s* or *max_frames*."""
+        if self._running:
+            raise ConfigError("source already started")
+        self._running = True
+        self.kernel.process(
+            self._capture_loop(duration_s, max_frames), name="video-source"
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def grant_credit(self) -> None:
+        """The sink's 'done, send the next frame' signal (§2.3).
+
+        If a fresher camera frame is already buffered, it enters the
+        pipeline immediately (the camera runs ahead of the pipeline at high
+        source rates — throughput tracks pipeline latency, not the capture
+        tick). Otherwise one credit is stored for the next capture. Credit
+        is capped at one, keeping at most one frame in flight.
+        """
+        if self._pending is not None:
+            frame, self._pending = self._pending, None
+            self._emit(frame)
+        else:
+            self._credits = 1
+
+    def _emit(self, frame: VideoFrame) -> None:
+        self.emitted_count += 1
+        self._last_emit_at = self.kernel.now
+        self.deliver(frame)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of captured frames dropped at the source."""
+        if self.captured_count == 0:
+            return 0.0
+        return self.dropped_count / self.captured_count
+
+    # -- engine ------------------------------------------------------------------
+    def _interval(self) -> float:
+        base = 1.0 / self.fps
+        if self.jitter_cv <= 0:
+            return base
+        # mild capture jitter, clipped to stay causal
+        assert self.rng is not None
+        return max(base * 0.25, float(self.rng.normal(base, base * self.jitter_cv)))
+
+    def _capture_loop(self, duration_s: float | None, max_frames: int | None):
+        start_time = self.kernel.now
+        frame_id = 0
+        while self._running:
+            elapsed = self.kernel.now - start_time
+            if duration_s is not None and elapsed >= duration_s - 1e-9:
+                break
+            if max_frames is not None and frame_id >= max_frames:
+                break
+            frame_id += 1
+            capture = getattr(self.camera, "capture", self.camera)
+            frame = capture(frame_id, self.kernel.now)
+            self.captured_count += 1
+            if (
+                self.mode == "signal"
+                and self.credit_timeout_s is not None
+                and self._credits == 0
+                and self.emitted_count > 0
+                and self.kernel.now - self._last_emit_at >= self.credit_timeout_s
+            ):
+                # the ready signal was lost downstream: regenerate the
+                # credit rather than stall the pipeline forever; the frame
+                # just captured supersedes anything buffered
+                self.watchdog_recoveries += 1
+                self._credits = 1
+                if self._pending is not None:
+                    self._pending = None
+                    self.dropped_count += 1
+            if self.mode == "push":
+                self._emit(frame)
+            elif self._credits > 0:
+                self._credits -= 1
+                self._emit(frame)
+            else:
+                # no credit: buffer the freshest frame; the one it replaces
+                # is dropped at the source (§2.3)
+                if self._pending is not None:
+                    self.dropped_count += 1
+                self._pending = frame
+            yield self._interval()
+        self._running = False

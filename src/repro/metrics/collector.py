@@ -1,0 +1,89 @@
+"""Cross-component metrics collection.
+
+One :class:`MetricsCollector` per pipeline gathers per-stage latencies
+(Fig. 6's bars), end-to-end frame completions (Table 2's FPS), and free-form
+counters. Components record through the module context; benchmarks read the
+summaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .stats import RateMeter, Summary, summarize
+
+
+class MetricsCollector:
+    """Per-pipeline timing and counting sink."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self._stages: dict[str, list[float]] = defaultdict(list)
+        self._counters: dict[str, int] = defaultdict(int)
+        self.completions = RateMeter()
+        self._frame_started: dict[int, float] = {}
+        self._frame_latencies: list[float] = []
+
+    # -- stage latencies ----------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One sample of a named pipeline stage's latency."""
+        self._stages[stage].append(seconds)
+
+    def stage_names(self) -> list[str]:
+        return sorted(self._stages)
+
+    def stage_samples(self, stage: str) -> list[float]:
+        return list(self._stages[stage])
+
+    def stage_summary(self, stage: str) -> Summary:
+        return summarize(self._stages[stage])
+
+    def stage_means_ms(self) -> dict[str, float]:
+        """Mean latency per stage in milliseconds (Fig. 6's quantity)."""
+        return {
+            stage: summarize(samples).mean * 1e3
+            for stage, samples in self._stages.items()
+            if samples
+        }
+
+    # -- end-to-end frames ----------------------------------------------------
+    def frame_entered(self, frame_id: int, now: float) -> None:
+        """A frame was admitted into the pipeline at the source."""
+        self._frame_started[frame_id] = now
+        self._counters["frames_entered"] += 1
+
+    def frame_completed(self, frame_id: int, now: float) -> None:
+        """The final module finished the frame; updates FPS and latency."""
+        self.completions.tick(now)
+        started = self._frame_started.pop(frame_id, None)
+        if started is not None:
+            self._frame_latencies.append(now - started)
+        self._counters["frames_completed"] += 1
+
+    def throughput_fps(self, end_time: float, warmup_s: float = 0.0) -> float:
+        """Completed frames per second over the measurement window."""
+        return self.completions.rate(end_time, warmup_s)
+
+    def total_latency_summary(self) -> Summary:
+        """Source-to-completion latency ('Total Duration' in Fig. 6)."""
+        return summarize(self._frame_latencies)
+
+    @property
+    def total_latencies(self) -> list[float]:
+        return list(self._frame_latencies)
+
+    # -- counters ------------------------------------------------------------
+    def increment(self, counter: str, amount: int = 1) -> None:
+        self._counters[counter] += amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsCollector {self.name}: {self.counter('frames_completed')}"
+            f" frames, stages {self.stage_names()}>"
+        )

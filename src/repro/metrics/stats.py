@@ -1,0 +1,89 @@
+"""Summary statistics for latency samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a sample set (seconds or any unit)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def scaled(self, factor: float) -> "Summary":
+        """Unit conversion (e.g. seconds -> milliseconds with factor=1e3)."""
+        return Summary(
+            count=self.count,
+            mean=self.mean * factor,
+            std=self.std * factor,
+            minimum=self.minimum * factor,
+            p50=self.p50 * factor,
+            p90=self.p90 * factor,
+            p99=self.p99 * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary`; raises on an empty sample."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        p50=float(np.percentile(data, 50)),
+        p90=float(np.percentile(data, 90)),
+        p99=float(np.percentile(data, 99)),
+        maximum=float(data.max()),
+    )
+
+
+class RateMeter:
+    """Counts events over simulated time; reports steady-state rates.
+
+    ``rate(warmup_s)`` excludes an initial warmup window so cold-start
+    effects (model loading, pipeline fill) don't bias FPS numbers.
+    """
+
+    def __init__(self) -> None:
+        self.timestamps: list[float] = []
+
+    def tick(self, now: float) -> None:
+        self.timestamps.append(now)
+
+    @property
+    def count(self) -> int:
+        return len(self.timestamps)
+
+    def rate(self, end_time: float, warmup_s: float = 0.0) -> float:
+        """Events per second between ``warmup_s`` and ``end_time``."""
+        window = end_time - warmup_s
+        if window <= 0:
+            raise ValueError("measurement window is empty")
+        counted = sum(1 for t in self.timestamps if t >= warmup_s)
+        return counted / window

@@ -1,0 +1,26 @@
+"""Monitoring (§7 future work): probes, time series, alarms."""
+
+from .monitor import Alarm, AlarmRule, Monitor
+from .orchestrator import (
+    Action,
+    Orchestrator,
+    Remedy,
+    migrate_module_remedy,
+    scale_service_remedy,
+)
+from .probes import Sample, device_probe, pipeline_probe, service_probe
+
+__all__ = [
+    "Action",
+    "Alarm",
+    "AlarmRule",
+    "Monitor",
+    "Orchestrator",
+    "Remedy",
+    "Sample",
+    "device_probe",
+    "migrate_module_remedy",
+    "pipeline_probe",
+    "scale_service_remedy",
+    "service_probe",
+]

@@ -1,0 +1,160 @@
+"""The self-management loop: alarms drive scaling and migration.
+
+§7 names three future components — automatic deployment, scheduling, and
+monitoring. The :class:`Orchestrator` closes the loop between them: it
+periodically evaluates *remedies* against the monitor's fresh state, so a
+saturated service grows a replica and an overloaded device sheds a module,
+without an operator in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.kernel import Kernel
+from .monitor import Monitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.pipeline import Pipeline
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One remediation the orchestrator executed."""
+
+    at: float
+    remedy: str
+    description: str
+
+
+@dataclass(slots=True)
+class Remedy:
+    """A named condition → action pair with a cooldown.
+
+    ``condition`` reads the monitor and returns a description string when
+    the remedy should fire (or None); ``action`` performs the change.
+    """
+
+    name: str
+    condition: Callable[[Monitor], str | None]
+    action: Callable[[], None]
+    cooldown_s: float = 5.0
+    max_firings: int | None = None
+    _last_fired: float = -1e18
+    _fired: int = 0
+
+    def due(self, monitor: Monitor, now: float) -> str | None:
+        if self.max_firings is not None and self._fired >= self.max_firings:
+            return None
+        if now - self._last_fired < self.cooldown_s:
+            return None
+        return self.condition(monitor)
+
+
+class Orchestrator:
+    """Evaluates remedies on a fixed period against the monitor."""
+
+    def __init__(self, kernel: Kernel, monitor: Monitor,
+                 period_s: float = 1.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.kernel = kernel
+        self.monitor = monitor
+        self.period_s = period_s
+        self._remedies: list[Remedy] = []
+        self.actions: list[Action] = []
+        self._running = False
+
+    def add_remedy(self, remedy: Remedy) -> None:
+        self._remedies.append(remedy)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.process(self._loop(), name="orchestrator")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.period_s
+            if not self._running:
+                break
+            self.evaluate_once()
+
+    def evaluate_once(self) -> list[Action]:
+        """Check every remedy now; returns the actions taken."""
+        fired = []
+        now = self.kernel.now
+        for remedy in self._remedies:
+            description = remedy.due(self.monitor, now)
+            if description is None:
+                continue
+            remedy.action()
+            remedy._last_fired = now
+            remedy._fired += 1
+            action = Action(at=now, remedy=remedy.name, description=description)
+            self.actions.append(action)
+            fired.append(action)
+        return fired
+
+
+# -- ready-made remedies --------------------------------------------------------
+
+def scale_service_remedy(
+    host,
+    monitor_probe: str,
+    utilization_threshold: float = 0.85,
+    max_replicas: int = 4,
+    cooldown_s: float = 3.0,
+) -> Remedy:
+    """Grow *host* when the monitor shows it saturated."""
+
+    def condition(monitor: Monitor) -> str | None:
+        utilization = monitor.latest(monitor_probe, "utilization")
+        if utilization is None or host.replicas >= max_replicas:
+            return None
+        if utilization > utilization_threshold:
+            return (f"{host.service_name}@{host.device.name} at"
+                    f" {utilization:.0%} utilization")
+        return None
+
+    return Remedy(
+        name=f"scale:{host.service_name}",
+        condition=condition,
+        action=lambda: host.add_replica(1),
+        cooldown_s=cooldown_s,
+    )
+
+
+def migrate_module_remedy(
+    home,
+    pipeline: "Pipeline",
+    module_name: str,
+    target_device: str,
+    device_probe_name: str,
+    cpu_threshold: float = 0.9,
+    cooldown_s: float = 5.0,
+) -> Remedy:
+    """Move *module_name* to *target_device* when its current device's CPU
+    stays saturated (fires at most once)."""
+
+    def condition(monitor: Monitor) -> str | None:
+        if pipeline.device_of(module_name) == target_device:
+            return None
+        utilization = monitor.latest(device_probe_name, "cpu_utilization")
+        if utilization is not None and utilization > cpu_threshold:
+            return (f"{module_name} leaving a {utilization:.0%}-busy device"
+                    f" for {target_device}")
+        return None
+
+    return Remedy(
+        name=f"migrate:{module_name}",
+        condition=condition,
+        action=lambda: home.migrate_module(pipeline, module_name, target_device),
+        cooldown_s=cooldown_s,
+        max_firings=1,
+    )

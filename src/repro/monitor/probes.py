@@ -1,0 +1,80 @@
+"""Monitoring probes: point-in-time readings of the home's health.
+
+Part of the paper's stated future work (§7): "we aim to include automatic
+deployment, scheduling and monitoring components to VideoPipe". A probe
+turns one observable (a device CPU, a service host, a pipeline) into a
+stream of numeric samples the monitor collects on a fixed period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..devices.device import Device
+from ..pipeline.pipeline import Pipeline
+from ..services.host import ServiceHost
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One reading: (time, probe name, metric, value)."""
+
+    at: float
+    probe: str
+    metric: str
+    value: float
+
+
+#: A probe is a callable returning {metric: value} when sampled.
+ProbeFn = Callable[[], dict[str, float]]
+
+
+def device_probe(device: Device) -> ProbeFn:
+    """CPU occupancy and frame-store pressure for one device."""
+
+    def read() -> dict[str, float]:
+        return {
+            "cpu_in_use": float(device.cpu.cores.in_use),
+            "cpu_queue": float(device.cpu.cores.queue_length),
+            "cpu_utilization": device.cpu.utilization(),
+            "frame_store_used": float(len(device.frame_store)),
+        }
+
+    return read
+
+
+def service_probe(host: ServiceHost) -> ProbeFn:
+    """Replica occupancy and queue for one service host."""
+
+    def read() -> dict[str, float]:
+        return {
+            "busy_workers": float(host.busy_workers),
+            "queue_length": float(host.queue_length),
+            "replicas": float(host.replicas),
+            "utilization": host.utilization(),
+            "errors": float(host.errors),
+        }
+
+    return read
+
+
+def pipeline_probe(pipeline: Pipeline) -> ProbeFn:
+    """Progress and error counters for one pipeline."""
+
+    def read() -> dict[str, float]:
+        metrics = pipeline.metrics
+        mailboxes = 0
+        errors = 0
+        for name in pipeline.module_names():
+            deployed = pipeline.module(name)
+            mailboxes += deployed.mailbox_depth
+            errors += len(deployed.errors)
+        return {
+            "frames_entered": float(metrics.counter("frames_entered")),
+            "frames_completed": float(metrics.counter("frames_completed")),
+            "module_errors": float(errors),
+            "queued_events": float(mailboxes),
+        }
+
+    return read

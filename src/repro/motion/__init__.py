@@ -1,0 +1,68 @@
+"""Parametric human motion: skeletons, exercises and gestures.
+
+This package replaces the live humans in front of the paper's camera with
+deterministic, seedable motion models that drive the synthetic video source
+and the recognizer training sets.
+"""
+
+from .exercises import (
+    EXERCISES,
+    GESTURES,
+    MODEL_BY_NAME,
+    Clap,
+    Fall,
+    JumpingJack,
+    LateralRaise,
+    Lunge,
+    MotionModel,
+    Squat,
+    Stand,
+    Wave,
+    base_pose,
+    make_model,
+)
+from .skeleton import (
+    KEYPOINT_INDEX,
+    KEYPOINT_NAMES,
+    NUM_KEYPOINTS,
+    SKELETON_EDGES,
+    Pose,
+    pose_sequence_array,
+)
+from .trajectory import (
+    SubjectParams,
+    add_keypoint_jitter,
+    place_in_image,
+    random_subject,
+    sample_subject_sequence,
+    subject_pose,
+)
+
+__all__ = [
+    "Clap",
+    "EXERCISES",
+    "Fall",
+    "GESTURES",
+    "JumpingJack",
+    "KEYPOINT_INDEX",
+    "KEYPOINT_NAMES",
+    "LateralRaise",
+    "Lunge",
+    "MODEL_BY_NAME",
+    "MotionModel",
+    "NUM_KEYPOINTS",
+    "Pose",
+    "SKELETON_EDGES",
+    "Squat",
+    "Stand",
+    "SubjectParams",
+    "Wave",
+    "add_keypoint_jitter",
+    "base_pose",
+    "make_model",
+    "place_in_image",
+    "pose_sequence_array",
+    "random_subject",
+    "sample_subject_sequence",
+    "subject_pose",
+]

@@ -1,0 +1,47 @@
+"""Network substrate: addressing, wire format, links, topology, transports.
+
+This package stands in for the paper's physical home network (Wi-Fi between
+phone, desktop and TV) and its ZeroMQ messaging layer, plus a broker-relayed
+transport used as the architectural counterexample.
+"""
+
+from .address import Address, EndpointSpec, parse_address, parse_endpoint
+from .broker import BrokeredTransport
+from .link import ETHERNET_LAN, LOOPBACK, WIFI_HOME, Link, LinkSpec
+from .message import KIND_DATA, KIND_REPLY, KIND_REQUEST, KIND_SIGNAL, Message
+from .rpc import RpcClient, RpcServer
+from .sockets import PubSocket, PullSocket, PushSocket, SubSocket
+from .topology import Topology
+from .transport import BrokerlessTransport, Transport
+from .wire import WireFormatError, decode, encode, payload_size
+
+__all__ = [
+    "Address",
+    "BrokeredTransport",
+    "BrokerlessTransport",
+    "ETHERNET_LAN",
+    "EndpointSpec",
+    "KIND_DATA",
+    "KIND_REPLY",
+    "KIND_REQUEST",
+    "KIND_SIGNAL",
+    "LOOPBACK",
+    "Link",
+    "LinkSpec",
+    "Message",
+    "PubSocket",
+    "PullSocket",
+    "PushSocket",
+    "RpcClient",
+    "RpcServer",
+    "SubSocket",
+    "Topology",
+    "Transport",
+    "WIFI_HOME",
+    "WireFormatError",
+    "decode",
+    "encode",
+    "parse_address",
+    "parse_endpoint",
+    "payload_size",
+]

@@ -1,0 +1,152 @@
+"""Request/reply RPC over the message transport.
+
+Modules use this path when the service they call lives on a *different*
+device — the remote-API-call pattern of the EdgeEye-style baseline. The
+client correlates replies by request id on a per-client reply address; the
+server runs its handler and sends the result (or a remote error) back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from ..errors import RpcError
+from ..sim.kernel import Kernel
+from ..sim.signals import Signal
+from .address import Address
+from .message import KIND_REPLY, KIND_REQUEST, Message
+from .transport import Transport
+
+#: Header keys used by the RPC protocol.
+H_REQUEST_ID = "rpc_id"
+H_REPLY_TO = "reply_to"
+H_ERROR = "rpc_error"
+
+
+class RpcClient:
+    """Issues requests from one device; owns an ephemeral reply address."""
+
+    def __init__(self, kernel: Kernel, transport: Transport, device: str) -> None:
+        self.kernel = kernel
+        self.transport = transport
+        self.device = device
+        self.reply_address = Address(device, transport.ephemeral_port(device))
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Signal] = {}
+        transport.bind(self.reply_address, self._on_reply)
+        self.calls_sent = 0
+
+    def call(self, target: Address, payload: Any, timeout: float | None = None) -> Signal:
+        """Send *payload* to *target*; the returned signal resolves with the
+        reply payload, or fails with :class:`~repro.errors.RpcError` on a
+        remote error or timeout."""
+        request_id = next(self._request_ids)
+        result = self.kernel.signal(name=f"rpc#{request_id}")
+        self._pending[request_id] = result
+        message = Message(
+            kind=KIND_REQUEST,
+            dst=target,
+            payload=payload,
+            src=Address(self.device, self.reply_address.port),
+            headers={H_REQUEST_ID: request_id, H_REPLY_TO: str(self.reply_address)},
+        )
+        self.calls_sent += 1
+        sent = self.transport.send(message)
+        sent.wait(lambda _v, exc: self._on_send_failure(request_id, exc))
+        if timeout is not None:
+            self.kernel.schedule(timeout, self._on_timeout, request_id)
+        return result
+
+    def _on_send_failure(self, request_id: int, exc: BaseException | None) -> None:
+        if exc is None:
+            return
+        result = self._pending.pop(request_id, None)
+        if result is not None and result.pending:
+            result.fail(RpcError(f"request delivery failed: {exc}"))
+
+    def _on_timeout(self, request_id: int) -> None:
+        result = self._pending.pop(request_id, None)
+        if result is not None and result.pending:
+            result.fail(RpcError(f"rpc request #{request_id} timed out"))
+
+    def _on_reply(self, message: Message) -> None:
+        request_id = message.headers.get(H_REQUEST_ID)
+        result = self._pending.pop(request_id, None)
+        if result is None or not result.pending:
+            return  # late reply after timeout: discard
+        error = message.headers.get(H_ERROR)
+        if error is not None:
+            result.fail(RpcError(str(error), remote=True))
+        else:
+            result.succeed(message.payload)
+
+    def close(self) -> None:
+        self.transport.unbind(self.reply_address)
+
+
+#: Server handlers receive (payload, message) and either return a plain
+#: value, return a Signal that resolves with the value, or raise.
+RpcHandler = Callable[[Any, Message], Any]
+
+
+class RpcServer:
+    """Binds an address and answers requests with a handler's result."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        transport: Transport,
+        address: Address,
+        handler: RpcHandler,
+    ) -> None:
+        self.kernel = kernel
+        self.transport = transport
+        self.address = address
+        self.handler = handler
+        self.requests_served = 0
+        self.requests_failed = 0
+        transport.bind(address, self._on_request)
+
+    def _on_request(self, message: Message) -> None:
+        try:
+            result = self.handler(message.payload, message)
+        except Exception as exc:  # report handler crashes to the caller
+            self._send_error(message, exc)
+            return
+        if isinstance(result, Signal):
+            result.wait(lambda value, exc: self._on_async_result(message, value, exc))
+        else:
+            self._send_reply(message, result)
+
+    def _on_async_result(self, request: Message, value: Any,
+                         exc: BaseException | None) -> None:
+        if exc is not None:
+            self._send_error(request, exc)
+        else:
+            self._send_reply(request, value)
+
+    def _send_reply(self, request: Message, value: Any) -> None:
+        self.requests_served += 1
+        self.transport.send(self._reply_message(request, value, error=None))
+
+    def _send_error(self, request: Message, exc: BaseException) -> None:
+        self.requests_failed += 1
+        self.transport.send(
+            self._reply_message(request, None, error=f"{type(exc).__name__}: {exc}")
+        )
+
+    def _reply_message(self, request: Message, value: Any, error: str | None) -> Message:
+        headers: dict[str, Any] = {H_REQUEST_ID: request.headers.get(H_REQUEST_ID)}
+        if error is not None:
+            headers[H_ERROR] = error
+        return Message(
+            kind=KIND_REPLY,
+            dst=request.reply_to(),
+            payload=value,
+            src=self.address,
+            headers=headers,
+        )
+
+    def close(self) -> None:
+        self.transport.unbind(self.address)

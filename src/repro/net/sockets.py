@@ -1,0 +1,152 @@
+"""ZeroMQ-flavored socket patterns over a :class:`~repro.net.transport.Transport`.
+
+The paper wires its pipeline with ZeroMQ sockets; this module provides the
+same vocabulary:
+
+* PUSH/PULL — one-way pipelined fan-out (module → next module),
+* PUB/SUB — topic-filtered broadcast (used by the display/IoT fan-out),
+* REQ/REP — request/reply, built on these primitives in :mod:`repro.net.rpc`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import NetworkError
+from ..sim.signals import Signal
+from .address import Address
+from .message import KIND_DATA, Message
+from .transport import Transport
+
+
+class PullSocket:
+    """The receiving end of a PUSH/PULL pipe: binds an address, invokes a
+    callback per payload."""
+
+    def __init__(self, transport: Transport, address: Address,
+                 callback: Callable[[Any, Message], None]) -> None:
+        self.transport = transport
+        self.address = address
+        self._callback = callback
+        self.received_count = 0
+        transport.bind(address, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        self.received_count += 1
+        self._callback(message.payload, message)
+
+    def close(self) -> None:
+        self.transport.unbind(self.address)
+
+
+class PushSocket:
+    """The sending end of a PUSH/PULL pipe.
+
+    Multiple connected peers receive messages round-robin, matching ZeroMQ
+    PUSH semantics (and giving load-balancing across service replicas).
+    """
+
+    def __init__(self, transport: Transport, local: Address) -> None:
+        self.transport = transport
+        self.local = local
+        self._peers: list[Address] = []
+        self._next = 0
+        self.sent_count = 0
+
+    def connect(self, peer: Address) -> None:
+        if peer in self._peers:
+            raise NetworkError(f"already connected to {peer}")
+        self._peers.append(peer)
+
+    def disconnect(self, peer: Address) -> None:
+        try:
+            index = self._peers.index(peer)
+        except ValueError:
+            return
+        del self._peers[index]
+        if self._next > index:
+            self._next -= 1
+
+    @property
+    def peers(self) -> tuple[Address, ...]:
+        return tuple(self._peers)
+
+    def send(self, payload: Any, kind: str = KIND_DATA,
+             headers: dict[str, Any] | None = None) -> Signal:
+        """Send to the next peer round-robin; returns the delivery signal."""
+        if not self._peers:
+            raise NetworkError("push socket has no connected peers")
+        peer = self._peers[self._next % len(self._peers)]
+        self._next += 1
+        return self.send_to(peer, payload, kind=kind, headers=headers)
+
+    def send_to(self, peer: Address, payload: Any, kind: str = KIND_DATA,
+                headers: dict[str, Any] | None = None) -> Signal:
+        """Send to a specific peer (used for addressed fan-out)."""
+        message = Message(
+            kind=kind, dst=peer, payload=payload, src=self.local,
+            headers=dict(headers or {}),
+        )
+        self.sent_count += 1
+        return self.transport.send(message)
+
+
+class SubSocket:
+    """A topic-filtered subscriber; binds an address and registers with
+    publishers via :meth:`PubSocket.add_subscriber`."""
+
+    def __init__(self, transport: Transport, address: Address,
+                 callback: Callable[[str, Any, Message], None],
+                 topics: tuple[str, ...] = ("",)) -> None:
+        self.transport = transport
+        self.address = address
+        self.topics = topics
+        self._callback = callback
+        transport.bind(address, self._on_message)
+
+    def accepts(self, topic: str) -> bool:
+        """ZeroMQ prefix matching: subscribing to '' accepts everything."""
+        return any(topic.startswith(prefix) for prefix in self.topics)
+
+    def _on_message(self, message: Message) -> None:
+        topic = str(message.headers.get("topic", ""))
+        if self.accepts(topic):
+            self._callback(topic, message.payload, message)
+
+    def close(self) -> None:
+        self.transport.unbind(self.address)
+
+
+class PubSocket:
+    """A publisher that fans every message out to all matching subscribers.
+
+    ZeroMQ PUB drops messages for absent subscribers; likewise, publishing
+    with no subscribers is a silent no-op.
+    """
+
+    def __init__(self, transport: Transport, local: Address) -> None:
+        self.transport = transport
+        self.local = local
+        self._subscribers: list[SubSocket] = []
+        self.published_count = 0
+
+    def add_subscriber(self, sub: SubSocket) -> None:
+        if sub not in self._subscribers:
+            self._subscribers.append(sub)
+
+    def remove_subscriber(self, sub: SubSocket) -> None:
+        if sub in self._subscribers:
+            self._subscribers.remove(sub)
+
+    def publish(self, topic: str, payload: Any) -> list[Signal]:
+        """Send to every subscriber whose filter matches *topic*."""
+        self.published_count += 1
+        signals = []
+        for sub in self._subscribers:
+            if sub.accepts(topic):
+                message = Message(
+                    kind=KIND_DATA, dst=sub.address, payload=payload,
+                    src=self.local, headers={"topic": topic},
+                )
+                signals.append(self.transport.send(message))
+        return signals

@@ -1,0 +1,134 @@
+"""Network topology: which devices can reach which, over what links.
+
+The home network is a graph (networkx) whose nodes are device names and
+whose edges carry :class:`~repro.net.link.Link` objects. The common case is
+a star around a Wi-Fi access point — created with :meth:`Topology.add_wifi`
+— where all attached devices contend for one shared radio medium, exactly
+the condition under which the paper's baseline (which ships frames back and
+forth) loses to co-located modules.
+
+Message delivery walks the shortest path hop by hop, so a two-hop
+phone→AP→desktop transfer pays airtime twice on the shared medium, as a real
+Wi-Fi frame relay does.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import LinkDown, NetworkError
+from ..sim.kernel import Kernel
+from ..sim.resources import Resource
+from ..sim.rng import RngStreams, ScopedRng
+from ..sim.signals import Signal
+from .link import LOOPBACK, Link, LinkSpec
+
+
+class Topology:
+    """The device connectivity graph plus per-edge links."""
+
+    def __init__(self, kernel: Kernel, rng: RngStreams | ScopedRng | None = None) -> None:
+        self.kernel = kernel
+        self.rng = rng if rng is not None else RngStreams(seed=0)
+        self.graph = nx.Graph()
+        self._loopbacks: dict[str, Link] = {}
+        self._shared_media: dict[str, Resource] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_device(self, name: str) -> None:
+        """Register a device node (idempotent)."""
+        self.graph.add_node(name, kind="device")
+
+    def add_wifi(self, name: str = "wifi", spec: LinkSpec | None = None) -> None:
+        """Create a Wi-Fi access point with a single shared airtime medium."""
+        if name in self._shared_media:
+            raise NetworkError(f"wifi network {name!r} already exists")
+        self.graph.add_node(name, kind="ap", spec=spec or LinkSpec())
+        self._shared_media[name] = Resource(self.kernel, 1, f"{name}.medium")
+
+    def attach(self, device: str, ap: str, spec: LinkSpec | None = None) -> None:
+        """Attach *device* to access point *ap*, sharing the AP's medium."""
+        medium = self._shared_media.get(ap)
+        if medium is None:
+            raise NetworkError(f"unknown wifi network {ap!r}")
+        self.add_device(device)
+        link_spec = spec or self.graph.nodes[ap]["spec"]
+        link = Link(
+            self.kernel,
+            link_spec,
+            self.rng.stream(f"link/{device}-{ap}"),
+            name=f"{device}<->{ap}",
+            medium=medium,
+        )
+        self.graph.add_edge(device, ap, link=link)
+
+    def add_wired(self, a: str, b: str, spec: LinkSpec | None = None) -> None:
+        """Connect two devices with a dedicated point-to-point link."""
+        self.add_device(a)
+        self.add_device(b)
+        link = Link(
+            self.kernel,
+            spec or LinkSpec(),
+            self.rng.stream(f"link/{a}-{b}"),
+            name=f"{a}<->{b}",
+        )
+        self.graph.add_edge(a, b, link=link)
+
+    # -- queries ---------------------------------------------------------------
+    def has_device(self, name: str) -> bool:
+        return name in self.graph and self.graph.nodes[name].get("kind") == "device"
+
+    def devices(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "device"]
+
+    def loopback(self, device: str) -> Link:
+        """The in-process 'link' used for same-device delivery."""
+        link = self._loopbacks.get(device)
+        if link is None:
+            link = Link(
+                self.kernel,
+                LOOPBACK,
+                self.rng.stream(f"loopback/{device}"),
+                name=f"{device}.loopback",
+            )
+            self._loopbacks[device] = link
+        return link
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """Links along the shortest path from *src* to *dst*.
+
+        Same-device traffic returns the loopback link. Raises
+        :class:`~repro.errors.LinkDown` when no path exists.
+        """
+        if src == dst:
+            return [self.loopback(src)]
+        if src not in self.graph or dst not in self.graph:
+            raise LinkDown(f"unknown device in route {src!r} -> {dst!r}")
+        try:
+            path = nx.shortest_path(self.graph, src, dst)
+        except nx.NetworkXNoPath as exc:
+            raise LinkDown(f"no route from {src!r} to {dst!r}") from exc
+        return [
+            self.graph.edges[a, b]["link"] for a, b in zip(path[:-1], path[1:])
+        ]
+
+    def expected_delay(self, src: str, dst: str, nbytes: int) -> float:
+        """Uncontended expected transfer time along the route (planning)."""
+        return sum(link.expected_delay(nbytes) for link in self.path_links(src, dst))
+
+    # -- transfer ---------------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: int) -> Signal:
+        """Move *nbytes* from *src* to *dst* hop by hop.
+
+        Returns a signal resolving with the arrival time. The route is
+        resolved eagerly so routing errors raise at call time.
+        """
+        links = self.path_links(src, dst)
+        done = self.kernel.signal(name=f"transfer:{src}->{dst}")
+        self.kernel.process(self._relay(links, nbytes, done), name="relay")
+        return done
+
+    def _relay(self, links: list[Link], nbytes: int, done: Signal):
+        for link in links:
+            yield link.transfer(nbytes)
+        done.succeed(self.kernel.now)

@@ -1,0 +1,98 @@
+"""Message transports.
+
+:class:`BrokerlessTransport` delivers directly along the topology route —
+this is the ZeroMQ-style data path the paper uses. A brokered variant (see
+:mod:`repro.net.broker`) relays every message through a broker device, the
+Kafka/RabbitMQ architecture the paper argues adds avoidable hops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from ..errors import DeliveryError, NetworkError
+from ..sim.kernel import Kernel
+from ..sim.signals import Signal
+from .address import Address
+from .message import Message
+from .topology import Topology
+
+Handler = Callable[[Message], None]
+
+#: First ephemeral port handed out per device.
+EPHEMERAL_BASE = 49152
+
+
+class Transport:
+    """Shared bind/deliver machinery; subclasses define the routing."""
+
+    def __init__(self, kernel: Kernel, topology: Topology) -> None:
+        self.kernel = kernel
+        self.topology = topology
+        self._handlers: dict[Address, Handler] = {}
+        self._ephemeral: dict[str, itertools.count] = {}
+        self.delivered_count = 0
+        self.failed_count = 0
+
+    # -- binding ---------------------------------------------------------------
+    def bind(self, address: Address, handler: Handler) -> None:
+        """Register *handler* to receive messages addressed to *address*."""
+        if address in self._handlers:
+            raise NetworkError(f"address {address} already bound")
+        if not self.topology.has_device(address.device):
+            raise NetworkError(f"cannot bind {address}: unknown device")
+        self._handlers[address] = handler
+
+    def unbind(self, address: Address) -> None:
+        self._handlers.pop(address, None)
+
+    def is_bound(self, address: Address) -> bool:
+        return address in self._handlers
+
+    def ephemeral_port(self, device: str) -> int:
+        """Allocate a fresh ephemeral port on *device* (for reply sockets)."""
+        counter = self._ephemeral.setdefault(device, itertools.count(EPHEMERAL_BASE))
+        return next(counter)
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, message: Message) -> Signal:
+        """Transfer *message* and deliver it to the bound handler.
+
+        Returns a signal resolving with the delivery time, or failing with
+        :class:`~repro.errors.DeliveryError` if nothing is bound at the
+        destination when the message arrives.
+        """
+        if message.src is None:
+            raise NetworkError("message needs a src address for routing")
+        message.sent_at = self.kernel.now
+        done = self.kernel.signal(name=f"send#{message.msg_id}")
+        arrival = self._route(message)
+        arrival.wait(lambda _t, exc: self._deliver(message, done, exc))
+        return done
+
+    def _route(self, message: Message) -> Signal:
+        """Return the arrival signal for the message's bytes. Overridden by
+        brokered transports."""
+        return self.topology.transfer(
+            message.src.device, message.dst.device, message.size_bytes
+        )
+
+    def _deliver(self, message: Message, done: Signal, exc: BaseException | None) -> None:
+        if exc is not None:
+            self.failed_count += 1
+            done.fail(exc)
+            return
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            self.failed_count += 1
+            done.fail(DeliveryError(f"no listener bound at {message.dst}"))
+            return
+        message.delivered_at = self.kernel.now
+        self.delivered_count += 1
+        handler(message)
+        done.succeed(self.kernel.now)
+
+
+class BrokerlessTransport(Transport):
+    """Direct peer-to-peer delivery (the ZeroMQ model): one route, no relay."""

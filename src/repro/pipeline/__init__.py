@@ -1,0 +1,50 @@
+"""Pipeline configuration, validation, placement and deployment."""
+
+from .config import ModuleConfig, PipelineConfig, config_from_dict
+from .dag import (
+    build_graph,
+    longest_path,
+    sink_modules,
+    topological_order,
+    validate,
+)
+from .deployer import Deployer
+from .parser import parse_pipeline_json, parse_pipeline_text
+from .pipeline import Pipeline
+from .placement import (
+    COLOCATED,
+    SINGLE_HOST,
+    PlacementPlan,
+    plan_colocated,
+    plan_single_host,
+)
+from .scheduler import (
+    COST_OPTIMIZED,
+    PlacementCost,
+    PlacementModel,
+    plan_cost_optimized,
+)
+
+__all__ = [
+    "COLOCATED",
+    "COST_OPTIMIZED",
+    "Deployer",
+    "PlacementCost",
+    "PlacementModel",
+    "plan_cost_optimized",
+    "ModuleConfig",
+    "Pipeline",
+    "PipelineConfig",
+    "PlacementPlan",
+    "SINGLE_HOST",
+    "build_graph",
+    "config_from_dict",
+    "longest_path",
+    "parse_pipeline_json",
+    "parse_pipeline_text",
+    "plan_colocated",
+    "plan_single_host",
+    "sink_modules",
+    "topological_order",
+    "validate",
+]

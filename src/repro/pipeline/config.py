@@ -1,0 +1,139 @@
+"""Pipeline configuration model.
+
+"Each application is specified as a Directed Acyclic Graph (DAG) by the
+application developer" (§2); Listing 1 shows the concrete shape: each module
+entry names its code (``include``), the services it calls, its endpoint, and
+its ``next_module`` fan-out. :class:`PipelineConfig` is that document as
+data; the parser (:mod:`repro.pipeline.parser`) produces it from text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigError
+
+
+@dataclass(slots=True)
+class ModuleConfig:
+    """One module entry from the configuration file.
+
+    Attributes:
+        name: unique module name within the pipeline.
+        include: the module code reference (e.g. ``"./RepCounterModule.js"``),
+            resolved through the runtime module registry.
+        services: stateless services this module calls.
+        endpoint: endpoint string, e.g. ``"bind#tcp://*:5861"``.
+        next_modules: downstream module names (the DAG's out-edges).
+        device: optional placement pin to a specific device.
+        params: constructor parameters for the module class.
+    """
+
+    name: str
+    include: str
+    services: list[str] = field(default_factory=list)
+    endpoint: str = "bind#tcp://*:0"
+    next_modules: list[str] = field(default_factory=list)
+    device: str | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("module entry needs a name")
+        if not self.include:
+            raise ConfigError(f"module {self.name!r} needs an include reference")
+
+
+@dataclass(slots=True)
+class PipelineConfig:
+    """A whole application: its module DAG plus the designated source."""
+
+    name: str
+    modules: list[ModuleConfig] = field(default_factory=list)
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("pipeline needs a name")
+        seen: set[str] = set()
+        for module in self.modules:
+            if module.name in seen:
+                raise ConfigError(f"duplicate module name {module.name!r}")
+            seen.add(module.name)
+
+    def module(self, name: str) -> ModuleConfig:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise ConfigError(f"pipeline {self.name!r} has no module {name!r}")
+
+    def module_names(self) -> list[str]:
+        return [m.name for m in self.modules]
+
+    @property
+    def source_module(self) -> str:
+        """The source module name (explicit, or the first entry)."""
+        if self.source is not None:
+            return self.source
+        if not self.modules:
+            raise ConfigError(f"pipeline {self.name!r} has no modules")
+        return self.modules[0].name
+
+    def declared_services(self) -> list[str]:
+        """Every service any module declares, deduplicated, sorted."""
+        names = {service for m in self.modules for service in m.services}
+        return sorted(names)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "modules": [
+                {
+                    "name": m.name,
+                    "include": m.include,
+                    "services": list(m.services),
+                    "endpoint": m.endpoint,
+                    "next_modules": list(m.next_modules),
+                    "device": m.device,
+                    "params": dict(m.params),
+                }
+                for m in self.modules
+            ],
+        }
+
+
+def config_from_dict(data: dict[str, Any]) -> PipelineConfig:
+    """Build a :class:`PipelineConfig` from its plain-dict/JSON form."""
+    if "name" not in data:
+        raise ConfigError("pipeline dict needs a 'name'")
+    modules = []
+    for entry in data.get("modules", []):
+        unknown = set(entry) - {
+            "name", "include", "services", "service", "endpoint",
+            "next_modules", "next_module", "device", "params",
+        }
+        if unknown:
+            raise ConfigError(f"unknown module config keys: {sorted(unknown)}")
+        next_modules = entry.get("next_modules", entry.get("next_module", []))
+        if isinstance(next_modules, str):
+            next_modules = [next_modules]
+        services = entry.get("services", entry.get("service", []))
+        if isinstance(services, str):
+            services = [services]
+        modules.append(
+            ModuleConfig(
+                name=entry.get("name", ""),
+                include=entry.get("include", ""),
+                services=list(services),
+                endpoint=entry.get("endpoint", "bind#tcp://*:0"),
+                next_modules=list(next_modules),
+                device=entry.get("device"),
+                params=dict(entry.get("params", {})),
+            )
+        )
+    return PipelineConfig(
+        name=data["name"], modules=modules, source=data.get("source")
+    )

@@ -1,0 +1,174 @@
+"""Parser for the paper's Listing-1 configuration syntax.
+
+The paper configures pipelines in a relaxed JS-object-literal dialect::
+
+    modules : [
+      { name: pose_detector_module
+        include ("./PoseDetectorModule.js")
+        service: ['pose_detector']
+        endpoint: ["bind#tcp://*:5861"]
+        next_module: activity_detector_module }
+      { name: activity_detector_module
+        ...
+        next_module: [rep_counter_module, display_module] }
+    ]
+
+:func:`parse_pipeline_text` accepts exactly that (commas and quotes
+optional, one ``key: value`` pair per line or comma-separated), plus JSON
+via :func:`parse_pipeline_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from ..errors import ConfigError
+from .config import PipelineConfig, config_from_dict
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"[^"]*"|'[^']*')      # quoted string
+  | (?P<punct>[\[\]{}:,()])           # structural punctuation
+  | (?P<bare>[^\s\[\]{}:,()'"]+)      # bare word (names, endpoints)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for line in text.splitlines():
+        # whole-line comments only: '#' and '//' both occur inside endpoint
+        # strings ("bind#tcp://*:5861"), so inline comments are not supported
+        if line.lstrip().startswith(("//", "#")):
+            continue
+        for match in _TOKEN_RE.finditer(line):
+            tokens.append(match.group(0))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ConfigError("unexpected end of pipeline configuration")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ConfigError(f"expected {token!r}, got {got!r}")
+
+    def skip_commas(self) -> None:
+        while self.peek() == ",":
+            self.next()
+
+
+def _unquote(token: str) -> str:
+    if len(token) >= 2 and token[0] in "\"'" and token[-1] == token[0]:
+        return token[1:-1]
+    return token
+
+
+def _parse_value(stream: _TokenStream) -> Any:
+    token = stream.peek()
+    if token == "[":
+        stream.next()
+        items: list[Any] = []
+        while True:
+            stream.skip_commas()
+            if stream.peek() == "]":
+                stream.next()
+                return items
+            items.append(_parse_value(stream))
+    if token == "{":
+        return _parse_object(stream)
+    if token == "(":  # include ("./File.js") style call syntax
+        stream.next()
+        inner = _parse_value(stream)
+        stream.expect(")")
+        return inner
+    return _unquote(stream.next())
+
+
+def _parse_object(stream: _TokenStream) -> dict[str, Any]:
+    stream.expect("{")
+    obj: dict[str, Any] = {}
+    while True:
+        stream.skip_commas()
+        token = stream.peek()
+        if token is None:
+            raise ConfigError("unterminated module entry (missing '}')")
+        if token == "}":
+            stream.next()
+            return obj
+        key = _unquote(stream.next())
+        # either `key: value` or call syntax `key ( value )`
+        if stream.peek() == ":":
+            stream.next()
+            value = _parse_value(stream)
+        elif stream.peek() == "(":
+            value = _parse_value(stream)
+        else:
+            raise ConfigError(f"expected ':' or '(' after key {key!r}")
+        obj[key] = value
+
+
+def parse_pipeline_text(text: str, name: str = "pipeline") -> PipelineConfig:
+    """Parse the Listing-1 dialect into a :class:`PipelineConfig`."""
+    stream = _TokenStream(_tokenize(text))
+    header = stream.next()
+    if _unquote(header) != "modules":
+        raise ConfigError(f"configuration must start with 'modules :', got {header!r}")
+    stream.expect(":")
+    entries = _parse_value(stream)
+    if not isinstance(entries, list):
+        raise ConfigError("'modules' must be a list of module entries")
+    modules = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ConfigError(f"module entry must be an object, got {entry!r}")
+        modules.append(_normalize_entry(entry))
+    return config_from_dict({"name": name, "modules": modules})
+
+
+def _normalize_entry(entry: dict[str, Any]) -> dict[str, Any]:
+    normalized: dict[str, Any] = {}
+    for key, value in entry.items():
+        if key in ("next_module", "next_modules"):
+            normalized["next_modules"] = value if isinstance(value, list) else [value]
+        elif key in ("service", "services"):
+            normalized["services"] = value if isinstance(value, list) else [value]
+        elif key == "endpoint":
+            # the listing wraps endpoints in a one-element list
+            if isinstance(value, list):
+                if len(value) != 1:
+                    raise ConfigError(f"endpoint must be a single value: {value!r}")
+                value = value[0]
+            normalized["endpoint"] = value
+        elif key in ("name", "include", "device", "params"):
+            normalized[key] = value
+        else:
+            raise ConfigError(f"unknown module config key {key!r}")
+    return normalized
+
+
+def parse_pipeline_json(text: str) -> PipelineConfig:
+    """Parse the JSON form of a pipeline configuration."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid pipeline JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError("pipeline JSON must be an object")
+    return config_from_dict(data)

@@ -1,0 +1,170 @@
+"""The module context: everything a module may do, and nothing more.
+
+Implements the callable half of Table 1 (``call_service``, ``call_module``)
+plus frame-reference management and the §2.3 flow-control signal. The
+context is created per deployed module by the runtime; module code receives
+it in every callback.
+
+Frame-reference ownership contract (the paper's minimal-copy design):
+
+* ``store_frame`` gives the module one hold on the new reference.
+* ``call_module`` / ``call_next`` **move** every reference in the payload to
+  the receiver(s); the sender must not use them afterwards.
+* ``call_service`` **borrows**: refs stay owned by the module.
+* a module that drops a frame without forwarding it calls ``release``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..frames.frame import FrameRef, VideoFrame
+from ..frames.payloads import add_refs
+from ..sim.signals import Signal
+from .events import DATA, READY_SIGNAL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..services.stubs import ServiceStub
+    from .moduleruntime import ModuleRuntime
+    from .wiring import PipelineWiring
+
+
+class ModuleContext:
+    """Per-deployed-module API surface."""
+
+    def __init__(
+        self,
+        runtime: "ModuleRuntime",
+        module_name: str,
+        wiring: "PipelineWiring",
+        stubs: dict[str, "ServiceStub"],
+    ) -> None:
+        self._runtime = runtime
+        self.module_name = module_name
+        self.wiring = wiring
+        self._stubs = stubs
+
+    # -- identity & clock ------------------------------------------------------
+    @property
+    def device_name(self) -> str:
+        return self._runtime.device.name
+
+    @property
+    def now(self) -> float:
+        return self._runtime.kernel.now
+
+    @property
+    def metrics(self):
+        return self.wiring.metrics
+
+    @property
+    def pipeline_name(self) -> str:
+        return self.wiring.pipeline_name
+
+    def rng(self, purpose: str) -> np.random.Generator:
+        return self._runtime.device.local_rng(f"module/{self.module_name}/{purpose}")
+
+    # -- Table 1: call_service ---------------------------------------------------
+    def call_service(self, service_name: str, payload: Any) -> Signal:
+        """Invoke a (co-located or remote) stateless service.
+
+        Returns a signal with the service result; yield it from an
+        ``event_received`` generator to wait.
+        """
+        stub = self._stubs.get(service_name)
+        if stub is None:
+            raise ServiceError(
+                f"module {self.module_name!r} did not declare service"
+                f" {service_name!r} in its configuration"
+            )
+        self.metrics.increment(f"service_calls.{service_name}")
+        return stub.call(payload)
+
+    def has_service(self, service_name: str) -> bool:
+        return service_name in self._stubs
+
+    def service_is_local(self, service_name: str) -> bool:
+        stub = self._stubs.get(service_name)
+        return stub is not None and stub.is_local
+
+    def service_prepare_s(self, service_name: str) -> float:
+        """Request-materialization time of the last call to this service
+        (JPEG encode for remote frame payloads; ~0 for reference passing)."""
+        stub = self._stubs.get(service_name)
+        return stub.last_prepare_s if stub is not None else 0.0
+
+    # -- Table 1: call_module ------------------------------------------------------
+    def call_module(
+        self,
+        target_module: str,
+        payload: Any,
+        headers: dict[str, Any] | None = None,
+    ) -> Signal:
+        """Send a payload to another module (ownership of refs moves)."""
+        return self._runtime.send_to_module(
+            self.module_name, target_module, payload, headers or {}, kind=DATA
+        )
+
+    def call_next(
+        self, payload: Any, headers: dict[str, Any] | None = None
+    ) -> list[Signal]:
+        """Send the same payload to every configured ``next_module``.
+
+        Fan-out takes the extra reference holds the receivers will each
+        consume.
+        """
+        targets = self.wiring.downstream_of(self.module_name)
+        if not targets:
+            return []
+        for _ in range(len(targets) - 1):
+            add_refs(payload, self._runtime.device.frame_store)
+        return [
+            self._runtime.send_to_module(
+                self.module_name, target, payload, dict(headers or {}), kind=DATA
+            )
+            for target in targets
+        ]
+
+    @property
+    def next_modules(self) -> list[str]:
+        return self.wiring.downstream_of(self.module_name)
+
+    # -- §2.3 flow control -----------------------------------------------------------
+    def signal_source(self) -> Signal | None:
+        """Tell the pipeline source this frame is done (credit refill)."""
+        source = self.wiring.source_module
+        if source is None:
+            return None
+        self.metrics.increment("ready_signals")
+        return self._runtime.send_to_module(
+            self.module_name, source, None, {}, kind=READY_SIGNAL
+        )
+
+    # -- frame references ---------------------------------------------------------------
+    def store_frame(self, frame: VideoFrame | Any) -> FrameRef:
+        """Park an object in the device store; the module owns one hold."""
+        return self._runtime.device.frame_store.put(frame)
+
+    def get_frame(self, ref: FrameRef) -> Any:
+        """Resolve a reference without copying or consuming it."""
+        return self._runtime.device.frame_store.get(ref)
+
+    def add_ref(self, ref: FrameRef) -> FrameRef:
+        return self._runtime.device.frame_store.add_ref(ref)
+
+    def release(self, ref: FrameRef) -> None:
+        self._runtime.device.frame_store.release(ref)
+
+    # -- instrumentation -----------------------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for a named pipeline stage."""
+        self.metrics.record_stage(stage, seconds)
+
+    def log(self, text: str) -> None:
+        self.wiring.logs.append((self.now, self.module_name, text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ModuleContext {self.module_name}@{self.device_name}>"

@@ -1,0 +1,54 @@
+"""Pipeline wiring: the routing state shared by one deployed pipeline.
+
+Built by the deployer from the configuration DAG: where every module lives,
+who follows whom, which module is the source (the flow-control signal
+target), and where this pipeline's metrics are collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import DeploymentError
+from ..metrics.collector import MetricsCollector
+from ..net.address import Address
+
+
+@dataclass(slots=True)
+class PipelineWiring:
+    """Routing and bookkeeping for one running pipeline."""
+
+    pipeline_name: str
+    #: module name -> bound address (after placement resolution).
+    addresses: dict[str, Address] = field(default_factory=dict)
+    #: module name -> configured downstream module names.
+    next_modules: dict[str, list[str]] = field(default_factory=dict)
+    #: the module that owns the video source (flow-control signal target).
+    source_module: str | None = None
+    metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    #: free-form log of (time, module, text) entries.
+    logs: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def address_of(self, module_name: str) -> Address:
+        try:
+            return self.addresses[module_name]
+        except KeyError:
+            raise DeploymentError(
+                f"pipeline {self.pipeline_name!r} has no module"
+                f" {module_name!r}; known: {sorted(self.addresses)}"
+            )
+
+    def downstream_of(self, module_name: str) -> list[str]:
+        return list(self.next_modules.get(module_name, []))
+
+    def device_of(self, module_name: str) -> str:
+        return self.address_of(module_name).device
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "pipeline": self.pipeline_name,
+            "modules": {name: str(addr) for name, addr in self.addresses.items()},
+            "edges": dict(self.next_modules),
+            "source": self.source_module,
+        }

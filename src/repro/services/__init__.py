@@ -1,0 +1,62 @@
+"""The stateless service framework: hosts, registry, stubs, autoscaling."""
+
+from .balancer import (
+    FASTEST,
+    FIRST,
+    LEAST_LOADED,
+    expected_service_time,
+    select_host,
+)
+from .base import FunctionService, Service, ServiceCallContext
+from .builtin import (
+    ActivityClassifierService,
+    ActuationEvent,
+    DisplayService,
+    DisplaySink,
+    DisplayedFrame,
+    FaceDetectionService,
+    IoTActuatorService,
+    IoTDeviceFleet,
+    ImageClassificationService,
+    ObjectDetectionService,
+    ObjectTrackingService,
+    PoseDetectorService,
+    RepCounterService,
+)
+from .host import ServiceHost
+from .registry import ServiceRegistry
+from .scaling import AutoScaler, ScalingEvent, ScalingPolicy
+from .stubs import LocalServiceStub, RemoteServiceStub, ServiceStub, make_stub
+
+__all__ = [
+    "ActivityClassifierService",
+    "ActuationEvent",
+    "AutoScaler",
+    "DisplayService",
+    "DisplaySink",
+    "DisplayedFrame",
+    "FASTEST",
+    "FIRST",
+    "FaceDetectionService",
+    "FunctionService",
+    "IoTActuatorService",
+    "IoTDeviceFleet",
+    "ImageClassificationService",
+    "LEAST_LOADED",
+    "LocalServiceStub",
+    "ObjectDetectionService",
+    "ObjectTrackingService",
+    "PoseDetectorService",
+    "RemoteServiceStub",
+    "RepCounterService",
+    "ScalingEvent",
+    "ScalingPolicy",
+    "Service",
+    "ServiceCallContext",
+    "ServiceHost",
+    "ServiceRegistry",
+    "ServiceStub",
+    "expected_service_time",
+    "make_stub",
+    "select_host",
+]

@@ -1,0 +1,53 @@
+"""Replica/host selection for service calls.
+
+When a service is hosted on several devices, which one should a remote
+caller dial? The paper's stateless-service design makes any replica valid;
+this module provides the selection policies:
+
+* ``first`` — registration order (the naive legacy behaviour);
+* ``fastest`` — minimum expected service time on the host's device;
+* ``least_loaded`` — fewest queued requests, ties broken by ``fastest``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServiceError
+from .host import ServiceHost
+from .registry import ServiceRegistry
+
+FIRST = "first"
+FASTEST = "fastest"
+LEAST_LOADED = "least_loaded"
+
+POLICIES = (FIRST, FASTEST, LEAST_LOADED)
+
+
+def expected_service_time(host: ServiceHost) -> float:
+    """Expected compute seconds for one call on this host's device."""
+    return host.device.spec.compute_time(host.service.reference_cost_s)
+
+
+def select_host(
+    registry: ServiceRegistry,
+    service_name: str,
+    policy: str = FASTEST,
+) -> ServiceHost:
+    """Choose a host of *service_name* under *policy*.
+
+    Deterministic: ties break by device name, so placement and simulation
+    stay reproducible.
+    """
+    hosts = registry.hosts_of(service_name)
+    if not hosts:
+        raise ServiceError(f"no host registered for service {service_name!r}")
+    if policy == FIRST:
+        return hosts[0]
+    if policy == FASTEST:
+        return min(hosts, key=lambda h: (expected_service_time(h), h.device.name))
+    if policy == LEAST_LOADED:
+        return min(
+            hosts,
+            key=lambda h: (h.queue_length + h.busy_workers - h.replicas,
+                           expected_service_time(h), h.device.name),
+        )
+    raise ServiceError(f"unknown balancing policy {policy!r}; known: {POLICIES}")

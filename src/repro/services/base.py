@@ -1,0 +1,91 @@
+"""The stateless service abstraction (§2.2).
+
+"The main video analytics are performed by stateless services accessible to
+modules. … These services all receive needed data as input so they do not
+require saving state. This allows the services to be shared among different
+applications and also allows for horizontal scaling."
+
+A :class:`Service` is a pure request handler plus a compute-cost model. The
+host (:mod:`repro.services.host`) owns replicas, queueing, CPU charging and
+the local/remote call paths; the service itself never sees any of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..frames.framestore import FrameStore
+from ..sim.kernel import Kernel
+
+
+@dataclass(slots=True)
+class ServiceCallContext:
+    """What a service may touch during one call: the *local* frame store
+    (reference-id resolution), a deterministic RNG, and the clock. Nothing
+    else — that is the statelessness contract."""
+
+    device_name: str
+    frame_store: FrameStore
+    rng: np.random.Generator
+    kernel: Kernel
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (for output timestamping only)."""
+        return self.kernel.now
+
+
+class Service:
+    """Base class for stateless framewise services.
+
+    Subclasses set :attr:`name` and :attr:`reference_cost_s` and implement
+    :meth:`handle`. Handlers must be pure with respect to the service
+    instance: all state arrives in the payload (the test suite enforces
+    this by comparing instance dicts across calls).
+    """
+
+    #: Registry name modules use in ``call_service``.
+    name = "service"
+    #: Compute time on the reference desktop for one call.
+    reference_cost_s = 0.010
+    #: Default port the service binds when hosted (offset per replica).
+    default_port = 7000
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> Any:
+        """Process one request; must not retain state on ``self``."""
+        raise NotImplementedError
+
+    def compute_cost(self, payload: Any) -> float:
+        """Reference compute seconds for this payload (default: constant)."""
+        return self.reference_cost_s
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable service card (used in logs and docs)."""
+        return {
+            "name": self.name,
+            "reference_cost_s": self.reference_cost_s,
+            "class": type(self).__name__,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Service {self.name}>"
+
+
+class FunctionService(Service):
+    """Wrap a plain function as a service (testing and custom pipelines)."""
+
+    def __init__(self, name: str, fn, reference_cost_s: float = 0.010,
+                 default_port: int = 7900) -> None:
+        if not callable(fn):
+            raise ServiceError("FunctionService requires a callable")
+        self.name = name
+        self._fn = fn
+        self.reference_cost_s = reference_cost_s
+        self.default_port = default_port
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> Any:
+        return self._fn(payload, ctx)

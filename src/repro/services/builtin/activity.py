@@ -1,0 +1,49 @@
+"""The activity classification service (§4.1.2).
+
+Stateless by construction: the caller ships the whole 15-frame window
+feature with every request; the service holds only the trained model
+(immutable weights, the service-framework equivalent of a baked container
+image).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...errors import ServiceError
+from ...vision.activity import ActivityRecognizer
+from ..base import Service, ServiceCallContext
+
+
+class ActivityClassifierService(Service):
+    """kNN activity classification on a precomputed window feature.
+
+    Request: ``{"window_feature": ndarray}`` (15 × 34 flattened).
+    Response: ``{"label": str, "confidence": float}``.
+    """
+
+    name = "activity_classifier"
+    reference_cost_s = 0.006
+    default_port = 7002
+
+    def __init__(self, recognizer: ActivityRecognizer) -> None:
+        if not recognizer.fitted:
+            raise ServiceError("activity service needs a trained recognizer")
+        self.recognizer = recognizer
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> dict[str, Any]:
+        feature = payload.get("window_feature") if isinstance(payload, dict) else None
+        if feature is None:
+            raise ServiceError(
+                "activity_classifier expects {'window_feature': ndarray}"
+            )
+        feature = np.asarray(feature, dtype=np.float64).reshape(-1)
+        expected = self.recognizer.window * 34
+        if feature.shape[0] != expected:
+            raise ServiceError(
+                f"window_feature must have {expected} values, got {feature.shape[0]}"
+            )
+        label, confidence = self.recognizer.classify_feature(feature)
+        return {"label": label, "confidence": float(confidence)}

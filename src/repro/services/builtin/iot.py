@@ -1,0 +1,78 @@
+"""The IoT actuator service behind the gesture-control app (§4.2).
+
+"Two examples are using 'clapping' to toggle the light in the living room
+and using 'waving' to toggle a doorbell camera." The actuator fleet is an
+output sink (like a screen): the service toggles named devices and records
+the command log for assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...errors import ServiceError
+from ..base import Service, ServiceCallContext
+
+
+@dataclass(slots=True)
+class ActuationEvent:
+    """One executed IoT command."""
+
+    at: float
+    target: str
+    action: str
+    new_state: bool
+
+
+@dataclass(slots=True)
+class IoTDeviceFleet:
+    """The controllable home devices and their on/off states."""
+
+    states: dict[str, bool] = field(default_factory=dict)
+    log: list[ActuationEvent] = field(default_factory=list)
+
+    def ensure(self, target: str, initial: bool = False) -> None:
+        self.states.setdefault(target, initial)
+
+    def toggle(self, target: str, at: float) -> bool:
+        if target not in self.states:
+            raise ServiceError(f"unknown IoT device {target!r}")
+        self.states[target] = not self.states[target]
+        self.log.append(ActuationEvent(at, target, "toggle", self.states[target]))
+        return self.states[target]
+
+    def set_state(self, target: str, on: bool, at: float) -> bool:
+        if target not in self.states:
+            raise ServiceError(f"unknown IoT device {target!r}")
+        self.states[target] = on
+        self.log.append(ActuationEvent(at, target, "set", on))
+        return on
+
+
+class IoTActuatorService(Service):
+    """Executes gesture-triggered commands against the device fleet.
+
+    Request: ``{"target": str, "action": "toggle"|"on"|"off"}``.
+    Response: ``{"target": str, "state": bool}``.
+    """
+
+    name = "iot_controller"
+    reference_cost_s = 0.002
+    default_port = 7008
+
+    def __init__(self, fleet: IoTDeviceFleet | None = None) -> None:
+        self.fleet = fleet or IoTDeviceFleet()
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> dict[str, Any]:
+        if not isinstance(payload, dict) or "target" not in payload:
+            raise ServiceError("iot_controller expects {'target', 'action'}")
+        target = str(payload["target"])
+        action = str(payload.get("action", "toggle"))
+        if action == "toggle":
+            state = self.fleet.toggle(target, ctx.now)
+        elif action in ("on", "off"):
+            state = self.fleet.set_state(target, action == "on", ctx.now)
+        else:
+            raise ServiceError(f"unknown action {action!r}")
+        return {"target": target, "state": state}

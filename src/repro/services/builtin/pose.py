@@ -1,0 +1,54 @@
+"""The pose detection service (§4.1.1) — the pipeline's heavyweight stage.
+
+Cost calibration: the paper's end-to-end saturation around 11 FPS with the
+one-frame-in-flight protocol, together with the two-pipeline sharing numbers
+(≈9.4 FPS each at a 20 FPS source), implies ≈45–50 ms of pose compute per
+frame on the desktop. See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...errors import ServiceError
+from ...frames.frame import VideoFrame
+from ...vision.pose_estimator import PoseEstimator, PoseNoiseModel
+from ..base import Service, ServiceCallContext
+
+
+class PoseDetectorService(Service):
+    """Detects the person and 17 keypoints in a single frame.
+
+    Request: ``{"frame": VideoFrame}`` (a ref resolved by the host, or a
+    frame decoded from the wire).
+    Response: ``{"detected", "keypoints", "visibility", "bbox", "score"}``
+    with numpy payloads — small enough to return cheaply to any caller.
+    """
+
+    name = "pose_detector"
+    reference_cost_s = 0.053
+    default_port = 7001
+
+    def __init__(self, noise: PoseNoiseModel | None = None) -> None:
+        self.noise = noise or PoseNoiseModel()
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> dict[str, Any]:
+        frame = payload.get("frame") if isinstance(payload, dict) else None
+        if not isinstance(frame, VideoFrame):
+            raise ServiceError("pose_detector expects {'frame': VideoFrame}")
+        estimator = PoseEstimator(self.noise, rng=ctx.rng)
+        result = estimator.estimate(frame)
+        if not result.detected:
+            return {"detected": False, "frame_id": frame.frame_id}
+        pose = result.require_pose()
+        assert result.bbox is not None
+        return {
+            "detected": True,
+            "frame_id": frame.frame_id,
+            "keypoints": np.asarray(pose.keypoints),
+            "visibility": np.asarray(pose.visibility),
+            "bbox": result.bbox.as_tuple(),
+            "score": result.score,
+        }

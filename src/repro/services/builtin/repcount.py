@@ -1,0 +1,50 @@
+"""The rep counting service (§4.1.3).
+
+Stateless: the module accumulates the bout's per-frame features (module
+state) and ships the whole feature matrix per call; the service re-clusters
+and counts. Compute cost therefore scales mildly with bout length.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...errors import ServiceError
+from ...vision.repcounter import DEBOUNCE_FRAMES, RepCounter
+from ..base import Service, ServiceCallContext
+
+
+class RepCounterService(Service):
+    """k-means (k=2) rep counting over a bout's per-frame features.
+
+    Request: ``{"features": (n, 34) ndarray}``.
+    Response: ``{"reps": int, "frames": int}``.
+    """
+
+    name = "rep_counter"
+    reference_cost_s = 0.002  # base; see compute_cost
+    per_frame_cost_s = 4.0e-6
+    default_port = 7003
+
+    def __init__(self, debounce: int = DEBOUNCE_FRAMES, seed: int = 0) -> None:
+        self.counter = RepCounter(debounce=debounce, seed=seed)
+
+    def compute_cost(self, payload: Any) -> float:
+        frames = 0
+        if isinstance(payload, dict):
+            features = payload.get("features")
+            if features is not None:
+                frames = len(features)
+        return self.reference_cost_s + self.per_frame_cost_s * frames
+
+    def handle(self, payload: Any, ctx: ServiceCallContext) -> dict[str, Any]:
+        features = payload.get("features") if isinstance(payload, dict) else None
+        if features is None:
+            raise ServiceError("rep_counter expects {'features': ndarray}")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ServiceError("features must be a (n, d) matrix")
+        reps = self.counter.count_features(features)
+        return {"reps": int(reps), "frames": int(len(features))}

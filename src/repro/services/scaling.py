@@ -1,0 +1,110 @@
+"""Service autoscaling — the paper's stated future work (§7), implemented.
+
+"It also implies that we should scale the services at this point, which is
+convenient in our design as the services are stateless" (§5.2.2). The
+autoscaler periodically samples each watched host's queue and adds replicas
+when requests are persistently waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.kernel import Kernel
+from .host import ServiceHost
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPolicy:
+    """When and how far to scale a service host.
+
+    Attributes:
+        check_interval_s: seconds between queue samples.
+        queue_threshold: average queued requests (over a window) that
+            triggers a scale-up.
+        window: samples per decision.
+        max_replicas: hard ceiling.
+        step: replicas added per scale-up.
+    """
+
+    check_interval_s: float = 0.5
+    queue_threshold: float = 0.5
+    window: int = 4
+    max_replicas: int = 4
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.check_interval_s <= 0 or self.window < 1:
+            raise ValueError("interval must be positive, window >= 1")
+        if self.max_replicas < 1 or self.step < 1:
+            raise ValueError("max_replicas and step must be >= 1")
+
+
+@dataclass(slots=True)
+class ScalingEvent:
+    """Record of one scale-up decision."""
+
+    at: float
+    service: str
+    device: str
+    from_replicas: int
+    to_replicas: int
+    avg_queue: float
+
+
+class AutoScaler:
+    """Watches service hosts and grows their replica pools under load."""
+
+    def __init__(self, kernel: Kernel, policy: ScalingPolicy | None = None) -> None:
+        self.kernel = kernel
+        self.policy = policy or ScalingPolicy()
+        self._hosts: list[ServiceHost] = []
+        self._samples: dict[int, list[int]] = {}
+        self.events: list[ScalingEvent] = []
+        self._running = False
+
+    def watch(self, host: ServiceHost) -> None:
+        """Add a host to the watch list (before or after start)."""
+        self._hosts.append(host)
+        self._samples[id(host)] = []
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.process(self._loop(), name="autoscaler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.policy.check_interval_s
+            for host in self._hosts:
+                self._sample(host)
+
+    def _sample(self, host: ServiceHost) -> None:
+        samples = self._samples[id(host)]
+        samples.append(host.queue_length)
+        if len(samples) < self.policy.window:
+            return
+        recent = samples[-self.policy.window:]
+        del samples[:-self.policy.window]
+        avg_queue = sum(recent) / len(recent)
+        if (
+            avg_queue >= self.policy.queue_threshold
+            and host.replicas < self.policy.max_replicas
+        ):
+            before = host.replicas
+            step = min(self.policy.step, self.policy.max_replicas - before)
+            host.add_replica(step)
+            self.events.append(
+                ScalingEvent(
+                    at=self.kernel.now,
+                    service=host.service_name,
+                    device=host.device.name,
+                    from_replicas=before,
+                    to_replicas=host.replicas,
+                    avg_queue=avg_queue,
+                )
+            )

@@ -1,0 +1,155 @@
+"""Service stubs: what a module's ``call_service`` actually invokes.
+
+"VideoPipe prepares the required service stubs on each device and connects
+different components together" (§3.1). A stub hides whether the service is
+co-located (direct in-process dispatch, refs stay refs) or remote (frames
+are encoded, shipped by RPC, decoded over there). The two paths are the
+exact contrast the evaluation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..devices.device import Device
+from ..errors import ServiceError
+from ..frames.payloads import encode_refs_for_wire
+from ..net.rpc import RpcClient
+from ..net.transport import Transport
+from ..sim.kernel import Kernel
+from ..sim.signals import Signal
+from .host import ServiceHost
+from .registry import ServiceRegistry
+
+
+class ServiceStub:
+    """A caller-side handle to one named service."""
+
+    def __init__(self, service_name: str) -> None:
+        self.service_name = service_name
+        self.calls = 0
+        #: Seconds the most recent call spent materializing the request
+        #: before dispatch (frame JPEG encode for remote calls; 0 when the
+        #: payload travels by reference). Used by Fig. 6's "load frame" bar.
+        self.last_prepare_s = 0.0
+
+    @property
+    def is_local(self) -> bool:
+        raise NotImplementedError
+
+    def call(self, payload: Any) -> Signal:
+        """Invoke the service; the signal resolves with the result."""
+        raise NotImplementedError
+
+
+class LocalServiceStub(ServiceStub):
+    """Direct dispatch into a co-located host: the VideoPipe fast path."""
+
+    def __init__(self, host: ServiceHost) -> None:
+        super().__init__(host.service_name)
+        self.host = host
+
+    @property
+    def is_local(self) -> bool:
+        return True
+
+    def call(self, payload: Any) -> Signal:
+        self.calls += 1
+        return self.host.call_local(payload)
+
+
+#: Reference CPU seconds to marshal one remote API request or reply (JSON /
+#: HTTP framing on the caller). The paper's motivation (§1): service-
+#: oriented remote calls "incur significant overhead in terms of delays in
+#: data transfer between the caller and the service" — this is the
+#: marshaling half of that overhead; the wire transfer is the other half.
+API_MARSHAL_S = 0.001
+
+
+class RemoteServiceStub(ServiceStub):
+    """RPC dispatch to a host on another device: the baseline's only path.
+
+    Frame refs in the payload are materialized and JPEG-encoded before the
+    request leaves (encode cost charged to the calling device's CPU), the
+    caller pays API marshaling on both the request and the reply, and the
+    request pays the network both ways.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        transport: Transport,
+        caller_device: Device,
+        host: ServiceHost,
+        timeout_s: float | None = None,
+    ) -> None:
+        super().__init__(host.service_name)
+        self.kernel = kernel
+        self.caller_device = caller_device
+        self.target_address = host.address
+        self.timeout_s = timeout_s
+        self._client = RpcClient(kernel, transport, caller_device.name)
+        self.frames_shipped = 0
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    def call(self, payload: Any) -> Signal:
+        self.calls += 1
+        wire_payload, encode_cost, shipped = encode_refs_for_wire(
+            payload, self.caller_device.frame_store, release=False
+        )
+        self.frames_shipped += shipped
+        done = self.kernel.signal(name=f"remote:{self.service_name}")
+        self.kernel.process(
+            self._call(wire_payload, encode_cost, done),
+            name=f"remote-call.{self.service_name}",
+        )
+        return done
+
+    def _call(self, wire_payload: Any, encode_cost: float, done: Signal):
+        try:
+            started = self.kernel.now
+            if encode_cost > 0:
+                yield self.caller_device.cpu.execute_fixed(encode_cost)
+            yield self.caller_device.cpu.execute(API_MARSHAL_S)
+            self.last_prepare_s = self.kernel.now - started
+            result = yield self._client.call(
+                self.target_address, wire_payload, timeout=self.timeout_s
+            )
+            yield self.caller_device.cpu.execute(API_MARSHAL_S)  # reply unmarshal
+        except Exception as exc:
+            done.fail(
+                exc if isinstance(exc, ServiceError)
+                else ServiceError(f"{self.service_name} remote call failed: {exc}")
+            )
+            return
+        done.succeed(result)
+
+    def close(self) -> None:
+        self._client.close()
+
+
+def make_stub(
+    kernel: Kernel,
+    transport: Transport,
+    registry: ServiceRegistry,
+    caller_device: Device,
+    service_name: str,
+    prefer_local: bool = True,
+    balancing: str = "fastest",
+) -> ServiceStub:
+    """Build the right stub for *caller_device*: local when the service is
+    co-located (and preferred); otherwise a remote stub dialing the replica
+    chosen by the *balancing* policy (see :mod:`repro.services.balancer`)."""
+    from .balancer import select_host
+
+    if prefer_local:
+        host = registry.host_on(service_name, caller_device.name)
+        if host is not None:
+            return LocalServiceStub(host)
+    host = select_host(registry, service_name, policy=balancing)
+    if host.device.name == caller_device.name and prefer_local:
+        return LocalServiceStub(host)
+    return RemoteServiceStub(kernel, transport, caller_device, host)

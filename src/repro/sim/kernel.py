@@ -1,0 +1,178 @@
+"""The discrete-event kernel and its wall-clock variant.
+
+:class:`Kernel` executes scheduled events in deterministic time order.
+:class:`RealtimeKernel` runs the same event queue but paces execution against
+the wall clock, which lets the exact same pipeline code drive either fast
+deterministic benchmarks or live demonstrations.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .events import NORMAL, Event, EventQueue
+from .process import Process, ProcessGenerator
+from .signals import Signal
+
+
+class Kernel:
+    """A deterministic discrete-event executor.
+
+    Time is a float in **seconds** starting at 0.0. All library components
+    (links, CPUs, services, module runtimes) schedule their work through a
+    shared kernel, which is what makes whole-system simulations reproducible.
+    """
+
+    #: Set to True by the realtime subclass; components may consult this to
+    #: decide whether to do real work (e.g. rendering) inline.
+    realtime = False
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # -- time -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        self._seq += 1
+        event = Event(self._now + delay, priority, self._seq, callback, args)
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        self._queue.cancel(event)
+
+    # -- factories ---------------------------------------------------------------
+    def signal(self, name: str | None = None) -> Signal:
+        """Create a pending one-shot :class:`Signal` bound to this kernel."""
+        return Signal(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Signal:
+        """Return a signal that succeeds with *value* after *delay* seconds."""
+        sig = self.signal(name=f"timeout({delay:.6f})")
+        sig._timer_event = self.schedule(delay, self._fire_timeout, sig, value)
+        return sig
+
+    @staticmethod
+    def _fire_timeout(sig: Signal, value: Any) -> None:
+        if sig.pending:
+            sig.succeed(value)
+
+    def process(self, gen: ProcessGenerator, name: str | None = None) -> Process:
+        """Start a generator as a simulated :class:`Process`."""
+        return Process(self, gen, name)
+
+    # -- execution -----------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event. Returns False if none remain."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = event.time
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains or simulated time reaches *until*.
+
+        Returns the simulated time at which execution stopped. When *until*
+        is given and events remain beyond it, the clock is advanced exactly
+        to *until*.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self._wait_until(next_time)
+                self.step()
+            else:
+                return self._now
+            if until is not None and self._now < until and not self._queue:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_resolved(self, signal: Signal, limit: float | None = None) -> Any:
+        """Run until *signal* resolves; return its value (or raise its error).
+
+        ``limit`` bounds simulated time; exceeding it raises
+        :class:`SimulationError`.
+        """
+        while signal.pending:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                raise SimulationError("event queue drained before signal resolved")
+            if limit is not None and next_time > limit:
+                raise SimulationError(f"signal unresolved at time limit {limit}")
+            self._wait_until(next_time)
+            self.step()
+        return signal.value
+
+    def stop(self) -> None:
+        """Request that a running :meth:`run` loop return after the current
+        event."""
+        self._stopped = True
+
+    def _wait_until(self, sim_time: float) -> None:
+        """Hook for realtime pacing; the pure simulator advances instantly."""
+
+
+class RealtimeKernel(Kernel):
+    """A kernel that paces event execution against the wall clock.
+
+    ``speed`` scales simulated seconds to wall seconds (2.0 = twice as fast
+    as real time). Execution overruns — events that take longer to process
+    than the available wall time — are tolerated: the kernel simply stops
+    sleeping and runs as fast as it can, like SimPy's strict=False mode.
+    """
+
+    realtime = True
+
+    def __init__(self, speed: float = 1.0) -> None:
+        super().__init__()
+        if speed <= 0:
+            raise SimulationError("realtime speed must be positive")
+        self.speed = speed
+        self._wall_start: float | None = None
+        self._sim_start = 0.0
+
+    def _wait_until(self, sim_time: float) -> None:
+        if self._wall_start is None:
+            self._wall_start = _time.monotonic()
+            self._sim_start = self._now
+        deadline = self._wall_start + (sim_time - self._sim_start) / self.speed
+        remaining = deadline - _time.monotonic()
+        if remaining > 0:
+            _time.sleep(remaining)

@@ -1,0 +1,140 @@
+"""Generator-based simulated processes.
+
+A process is an ordinary Python generator that ``yield``s awaitables to
+suspend itself:
+
+* a :class:`~repro.sim.signals.Signal` — resume when it resolves (the yield
+  expression evaluates to the signal's value; a failed signal raises inside
+  the generator);
+* another :class:`Process` — resume when that process terminates (join);
+* a number — shorthand for ``kernel.timeout(number)``.
+
+Example::
+
+    def worker(kernel, cpu):
+        grant = yield cpu.request()
+        yield 0.050                      # hold the CPU for 50 ms
+        cpu.release(grant)
+        return "done"
+
+    proc = kernel.process(worker(kernel, cpu))
+    kernel.run()
+    assert proc.done.value == "done"
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import Interrupt, SimulationError
+from .events import URGENT
+from .signals import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    Attributes:
+        done: a :class:`Signal` that resolves with the generator's return
+            value, or fails with the exception that escaped it.
+    """
+
+    def __init__(self, kernel: "Kernel", gen: ProcessGenerator, name: str | None = None) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        self.kernel = kernel
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.done: Signal = kernel.signal(name=f"{self.name}.done")
+        #: Incremented on every resume; stale wakeups from abandoned waits
+        #: (e.g. after an interrupt) carry an older epoch and are dropped.
+        self._epoch = 0
+        self._waiting_on: Signal | None = None
+        kernel.schedule(0.0, self._resume, self._epoch, None, None)
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.done.pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+    # -- control -------------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process resumes (urgently, at the current simulated time) with the
+        interrupt raised at its current ``yield``. Interrupting a terminated
+        process is a no-op.
+        """
+        if not self.alive:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and waiting.pending:
+            waiting.cancel_timer()  # abandoned timeouts must not hold the clock
+        self._epoch += 1
+        self._waiting_on = None
+        self.kernel.schedule(
+            0.0, self._resume, self._epoch, None, Interrupt(cause), priority=URGENT
+        )
+
+    # -- engine --------------------------------------------------------------
+    def _resume(self, epoch: int, value: Any, exc: BaseException | None) -> None:
+        if epoch != self._epoch or not self.alive:
+            return  # stale wakeup (process was interrupted or already ended)
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.done.fail(unhandled)
+            return
+        except Exception as error:
+            self.done.fail(error)
+            return
+        try:
+            self._wait_on(target)
+        except SimulationError as error:
+            # An invalid yield: deliver the error back at the offending
+            # yield so the process can handle (or die from) it.
+            self.kernel.schedule(
+                0.0, self._resume, self._epoch, None, error, priority=URGENT
+            )
+
+    def _wait_on(self, target: Any) -> None:
+        signal = self._as_signal(target)
+        self._epoch += 1
+        epoch = self._epoch
+        self._waiting_on = signal
+
+        def waiter(value: Any, exc: BaseException | None) -> None:
+            self._resume(epoch, value, exc)
+
+        signal.wait(waiter)
+
+    def _as_signal(self, target: Any) -> Signal:
+        if isinstance(target, Signal):
+            return target
+        if isinstance(target, Process):
+            return target.done
+        if isinstance(target, (int, float)):
+            return self.kernel.timeout(float(target))
+        raise SimulationError(
+            f"process {self.name!r} yielded {target!r}; expected a Signal, "
+            "a Process, or a number of seconds"
+        )

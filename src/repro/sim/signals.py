@@ -1,0 +1,190 @@
+"""One-shot signals: the synchronization primitive processes wait on.
+
+A :class:`Signal` resolves exactly once, either with a value (:meth:`succeed`)
+or an exception (:meth:`fail`). Processes yield signals to suspend until
+resolution; plain callbacks can also be attached with :meth:`wait`.
+
+:func:`all_of` and :func:`any_of` build composite signals for fan-in waits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+Waiter = Callable[[Any, "BaseException | None"], None]
+
+
+class Signal:
+    """A one-shot resolvable event.
+
+    Waiter callbacks receive ``(value, exc)``: exactly one of them is
+    meaningful depending on whether the signal succeeded or failed. Callbacks
+    attached after resolution fire on the next kernel step at the current
+    simulated time (never synchronously), so ordering stays deterministic.
+    """
+
+    __slots__ = ("kernel", "name", "_state", "_value", "_exc", "_waiters", "_timer_event")
+
+    def __init__(self, kernel: "Kernel", name: str | None = None) -> None:
+        self.kernel = kernel
+        self.name = name
+        self._state = PENDING
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._waiters: list[Waiter] = []
+        #: Set by Kernel.timeout(): the scheduled event that will fire this
+        #: signal, so abandoned timeouts can be cancelled (see cancel_timer).
+        self._timer_event = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return self._state == PENDING
+
+    @property
+    def resolved(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def succeeded(self) -> bool:
+        return self._state == SUCCEEDED
+
+    @property
+    def failed(self) -> bool:
+        return self._state == FAILED
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the signal is pending or failed."""
+        if self._state == SUCCEEDED:
+            return self._value
+        if self._state == FAILED:
+            assert self._exc is not None
+            raise self._exc
+        raise SimulationError(f"signal {self.name!r} is still pending")
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exc
+
+    # -- resolution ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Signal":
+        """Resolve successfully with *value* and wake all waiters."""
+        if self._state != PENDING:
+            raise SimulationError(f"signal {self.name!r} already {self._state}")
+        self._state = SUCCEEDED
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Signal":
+        """Resolve with an exception and wake all waiters."""
+        if self._state != PENDING:
+            raise SimulationError(f"signal {self.name!r} already {self._state}")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._state = FAILED
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.kernel.schedule(0.0, waiter, self._value, self._exc)
+
+    # -- waiting ------------------------------------------------------------
+    def wait(self, callback: Waiter) -> None:
+        """Invoke ``callback(value, exc)`` once the signal resolves.
+
+        If already resolved, the callback is scheduled immediately (at the
+        current simulated time) rather than called synchronously.
+        """
+        if self._state == PENDING:
+            self._waiters.append(callback)
+        else:
+            self.kernel.schedule(0.0, callback, self._value, self._exc)
+
+    def cancel_timer(self) -> None:
+        """If this signal is a pending timeout, cancel its underlying event.
+
+        Used when the only waiter has abandoned the wait (e.g. it was
+        interrupted): without this, an abandoned long timeout would keep the
+        kernel's clock running toward it.
+        """
+        if self._timer_event is not None and self._state == PENDING:
+            self.kernel.cancel(self._timer_event)
+            self._timer_event = None
+
+    def discard(self, callback: Waiter) -> None:
+        """Remove a previously attached waiter, if still registered."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal {self.name or id(self):} {self._state}>"
+
+
+def all_of(kernel: "Kernel", signals: Sequence[Signal]) -> Signal:
+    """Return a signal that succeeds with the list of all values once every
+    input succeeds, or fails with the first failure."""
+    result = kernel.signal(name="all_of")
+    remaining = len(signals)
+    values: list[Any] = [None] * remaining
+    if remaining == 0:
+        return result.succeed([])
+
+    def make_waiter(index: int) -> Waiter:
+        def waiter(value: Any, exc: BaseException | None) -> None:
+            nonlocal remaining
+            if not result.pending:
+                return
+            if exc is not None:
+                result.fail(exc)
+                return
+            values[index] = value
+            remaining -= 1
+            if remaining == 0:
+                result.succeed(list(values))
+
+        return waiter
+
+    for i, sig in enumerate(signals):
+        sig.wait(make_waiter(i))
+    return result
+
+
+def any_of(kernel: "Kernel", signals: Sequence[Signal]) -> Signal:
+    """Return a signal that resolves like the first input to resolve.
+
+    The success value is an ``(index, value)`` tuple identifying the winner.
+    """
+    result = kernel.signal(name="any_of")
+    if not signals:
+        raise SimulationError("any_of() requires at least one signal")
+
+    def make_waiter(index: int) -> Waiter:
+        def waiter(value: Any, exc: BaseException | None) -> None:
+            if not result.pending:
+                return
+            if exc is not None:
+                result.fail(exc)
+            else:
+                result.succeed((index, value))
+
+        return waiter
+
+    for i, sig in enumerate(signals):
+        sig.wait(make_waiter(i))
+    return result

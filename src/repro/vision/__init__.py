@@ -1,0 +1,77 @@
+"""Vision algorithms: pose estimation, recognition, detection, tracking."""
+
+from .activity import ActivityRecognizer, StreamingActivityDetector
+from .bbox import BBox
+from .datasets import (
+    ActivityDataset,
+    RepBout,
+    apply_estimator_noise,
+    generate_activity_dataset,
+    generate_rep_bouts,
+)
+from .features import (
+    WINDOW_FRAMES,
+    frame_feature,
+    frames_to_matrix,
+    normalize_framewise,
+    sliding_windows,
+    window_feature,
+    windows_to_matrix,
+)
+from .kmeans import KMeans
+from .knn import KNNClassifier
+from .object_detector import (
+    COLOR_CLASSES,
+    ColorHistogramClassifier,
+    Detection,
+    ObjectDetector,
+    SceneObject,
+    detect_face_region,
+    hand_regions,
+    render_scene,
+)
+from .pose_estimator import PoseEstimator, PoseNoiseModel, PoseResult
+from .repcounter import (
+    DEBOUNCE_FRAMES,
+    RepCounter,
+    StreamingRepCounter,
+    count_reps_in_labels,
+)
+from .tracking import IoUTracker, Track
+
+__all__ = [
+    "ActivityDataset",
+    "ActivityRecognizer",
+    "BBox",
+    "COLOR_CLASSES",
+    "ColorHistogramClassifier",
+    "DEBOUNCE_FRAMES",
+    "Detection",
+    "IoUTracker",
+    "KMeans",
+    "KNNClassifier",
+    "ObjectDetector",
+    "PoseEstimator",
+    "PoseNoiseModel",
+    "PoseResult",
+    "RepBout",
+    "RepCounter",
+    "SceneObject",
+    "StreamingActivityDetector",
+    "StreamingRepCounter",
+    "Track",
+    "WINDOW_FRAMES",
+    "apply_estimator_noise",
+    "count_reps_in_labels",
+    "detect_face_region",
+    "frame_feature",
+    "frames_to_matrix",
+    "generate_activity_dataset",
+    "generate_rep_bouts",
+    "hand_regions",
+    "normalize_framewise",
+    "render_scene",
+    "sliding_windows",
+    "window_feature",
+    "windows_to_matrix",
+]

@@ -1,0 +1,104 @@
+"""Activity recognition on pose sequences (§4.1.2).
+
+"Our activity recognition system utilizes nearest neighbor on pose
+sequences. To feed nearest neighbors, we take a list of 15 consecutive
+frames … We normalize the coordinates framewise so that (0,0) is located at
+the average of the left and right hips."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..motion.skeleton import Pose
+from .features import WINDOW_FRAMES, window_feature, windows_to_matrix
+from .knn import KNNClassifier
+
+
+class ActivityRecognizer:
+    """kNN over 15-frame normalized pose windows."""
+
+    def __init__(self, k: int = 5, window: int = WINDOW_FRAMES) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.classifier = KNNClassifier(k=k)
+
+    @property
+    def fitted(self) -> bool:
+        return self.classifier.fitted
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return self.classifier.classes
+
+    def fit(self, windows: list[list[Pose]], labels: list[str]) -> "ActivityRecognizer":
+        """Train on labelled pose windows (each of length ``window``)."""
+        for w in windows:
+            if len(w) != self.window:
+                raise ValueError(
+                    f"every training window must have {self.window} frames,"
+                    f" got {len(w)}"
+                )
+        self.classifier.fit(windows_to_matrix(windows), labels)
+        return self
+
+    def classify(self, window: list[Pose]) -> tuple[str, float]:
+        """Label one window of consecutive poses; returns (label, confidence)."""
+        if len(window) != self.window:
+            raise ValueError(f"window must have {self.window} frames, got {len(window)}")
+        return self.classifier.predict_with_confidence(window_feature(window))
+
+    def classify_feature(self, feature: np.ndarray) -> tuple[str, float]:
+        """Label a precomputed window feature vector (the stateless-service
+        entry point: callers ship features, no recognizer state needed)."""
+        return self.classifier.predict_with_confidence(feature)
+
+    def accuracy(self, windows: list[list[Pose]], labels: list[str]) -> float:
+        """Fraction of windows labelled correctly."""
+        if not windows:
+            raise ValueError("no evaluation windows")
+        correct = sum(
+            self.classify(w)[0] == label for w, label in zip(windows, labels)
+        )
+        return correct / len(windows)
+
+
+class StreamingActivityDetector:
+    """Maintains the rolling window for a live pose stream.
+
+    This is the *module-side* state (modules are stateful; services are
+    not): push estimated poses in, get an activity label out once enough
+    frames have accumulated.
+    """
+
+    def __init__(self, recognizer: ActivityRecognizer) -> None:
+        self.recognizer = recognizer
+        self._buffer: list[Pose] = []
+        self.last_label: str | None = None
+        self.last_confidence: float = 0.0
+
+    @property
+    def ready(self) -> bool:
+        return len(self._buffer) >= self.recognizer.window
+
+    def push(self, pose: Pose) -> str | None:
+        """Add one pose; returns the current label once the window fills."""
+        self._buffer.append(pose)
+        if len(self._buffer) > self.recognizer.window:
+            self._buffer.pop(0)
+        if not self.ready:
+            return None
+        label, confidence = self.recognizer.classify(list(self._buffer))
+        self.last_label = label
+        self.last_confidence = confidence
+        return label
+
+    def window_snapshot(self) -> list[Pose]:
+        """A copy of the current window (what a stateless service call ships)."""
+        return list(self._buffer)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self.last_label = None
+        self.last_confidence = 0.0

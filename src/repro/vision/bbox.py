@@ -1,0 +1,62 @@
+"""Bounding boxes and overlap math."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned box, (x0, y0) top-left to (x1, y1) bottom-right."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate box {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def intersection(self, other: "BBox") -> float:
+        """Overlap area with *other* (0 when disjoint)."""
+        dx = min(self.x1, other.x1) - max(self.x0, other.x0)
+        dy = min(self.y1, other.y1) - max(self.y0, other.y0)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def iou(self, other: "BBox") -> float:
+        """Intersection-over-union in [0, 1]."""
+        inter = self.intersection(other)
+        union = self.area + other.area - inter
+        if union <= 0:
+            return 0.0
+        return inter / union
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def expanded(self, margin: float) -> "BBox":
+        """Grow by *margin* fraction of each dimension on every side."""
+        dx, dy = self.width * margin, self.height * margin
+        return BBox(self.x0 - dx, self.y0 - dy, self.x1 + dx, self.y1 + dy)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x0, self.y0, self.x1, self.y1)

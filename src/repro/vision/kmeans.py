@@ -1,0 +1,92 @@
+"""Lloyd's k-means with k-means++ seeding, from scratch.
+
+The paper's rep counter uses "k-means with k = 2 to classify the frames into
+a cluster that occurs near the start of the exercise and a cluster that
+occurs near the end" (§4.1.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    """Deterministic (seeded) Lloyd's algorithm."""
+
+    def __init__(self, k: int = 2, max_iter: int = 100, tol: float = 1e-6,
+                 seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.inertia: float | None = None
+        self.iterations_run = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self.centroids is not None
+
+    def _init_centroids(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        n = len(data)
+        centroids = np.empty((self.k, data.shape[1]))
+        centroids[0] = data[rng.integers(n)]
+        closest_sq = np.full(n, np.inf)
+        for i in range(1, self.k):
+            deltas = data - centroids[i - 1]
+            closest_sq = np.minimum(closest_sq, np.einsum("ij,ij->i", deltas, deltas))
+            total = closest_sq.sum()
+            if total <= 0:  # all points identical to chosen centroids
+                centroids[i:] = centroids[0]
+                return centroids
+            probs = closest_sq / total
+            centroids[i] = data[rng.choice(n, p=probs)]
+        return centroids
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster *data* (an (n, d) matrix); n must be >= k."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) matrix")
+        if len(data) < self.k:
+            raise ValueError(f"need at least k={self.k} points, got {len(data)}")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(data, rng)
+        assignment = np.zeros(len(data), dtype=np.int64)
+        for iteration in range(self.max_iter):
+            self.iterations_run = iteration + 1
+            distances = self._distances(data, centroids)
+            assignment = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.k):
+                members = data[assignment == j]
+                if len(members) > 0:
+                    new_centroids[j] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift <= self.tol:
+                break
+        self.centroids = centroids
+        final = self._distances(data, centroids)
+        self.inertia = float(final.min(axis=1).sum())
+        return self
+
+    @staticmethod
+    def _distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared distances, (n, k)."""
+        diffs = data[:, None, :] - centroids[None, :, :]
+        return np.einsum("nkd,nkd->nk", diffs, diffs)
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign each row of *data* to its nearest centroid index."""
+        if not self.fitted:
+            raise ValueError("kmeans is not fitted")
+        data = np.asarray(data, dtype=np.float64)
+        single = data.ndim == 1
+        if single:
+            data = data[None, :]
+        labels = self._distances(data, self.centroids).argmin(axis=1)
+        return labels[0] if single else labels

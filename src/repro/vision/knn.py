@@ -1,0 +1,84 @@
+"""k-nearest-neighbour classification, from scratch.
+
+The paper's activity recognizer "utilizes nearest neighbor on pose
+sequences" (§4.1.2). This is a dependency-light exact kNN: Euclidean
+distance, majority vote, deterministic tie-breaking by nearest neighbour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+
+class KNNClassifier:
+    """Exact k-nearest-neighbour majority-vote classifier."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: list[str] = []
+
+    @property
+    def fitted(self) -> bool:
+        return self._features is not None
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self._labels)))
+
+    def fit(self, features: np.ndarray, labels: list[str]) -> "KNNClassifier":
+        """Store the training set (kNN is lazy)."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a (n, d) matrix")
+        if len(features) != len(labels):
+            raise ValueError("features and labels must have equal length")
+        if len(features) == 0:
+            raise ValueError("training set is empty")
+        self._features = features
+        self._labels = list(labels)
+        return self
+
+    def _neighbours(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._features is not None
+        deltas = self._features - query
+        distances = np.einsum("ij,ij->i", deltas, deltas)  # squared L2
+        k = min(self.k, len(distances))
+        order = np.argpartition(distances, k - 1)[:k]
+        order = order[np.argsort(distances[order], kind="stable")]
+        return order, np.sqrt(distances[order])
+
+    def predict(self, query: np.ndarray) -> str:
+        """Majority label among the k nearest; ties go to the closer one."""
+        label, _ = self.predict_with_confidence(query)
+        return label
+
+    def predict_with_confidence(self, query: np.ndarray) -> tuple[str, float]:
+        """Return ``(label, vote_fraction)``."""
+        if not self.fitted:
+            raise ValueError("classifier is not fitted")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        order, _ = self._neighbours(query)
+        votes = Counter(self._labels[i] for i in order)
+        top = max(votes.values())
+        tied = [label for label, count in votes.items() if count == top]
+        if len(tied) == 1:
+            winner = tied[0]
+        else:
+            # tie: the tied label whose representative appears first
+            # (nearest) in the neighbour ordering wins
+            winner = next(self._labels[i] for i in order if self._labels[i] in tied)
+        return winner, top / len(order)
+
+    def predict_batch(self, queries: np.ndarray) -> list[str]:
+        return [self.predict(q) for q in np.asarray(queries, dtype=np.float64)]
+
+    def score(self, features: np.ndarray, labels: list[str]) -> float:
+        """Accuracy on a labelled set."""
+        predictions = self.predict_batch(features)
+        correct = sum(p == t for p, t in zip(predictions, labels))
+        return correct / len(labels)

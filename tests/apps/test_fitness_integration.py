@@ -1,0 +1,155 @@
+"""Integration tests: the fitness application end to end (§4.1, §5)."""
+
+import pytest
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.core import VideoPipe
+
+
+def deploy_fitness(recognizer, arch="videopipe", fps=10.0, duration=10.0, seed=2):
+    home = VideoPipe.paper_testbed(seed=seed)
+    services = install_fitness_services(
+        home, recognizer=recognizer, baseline_layout=(arch == "baseline")
+    )
+    app = FitnessApp(home, services, architecture=arch)
+    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    return home, services, pipeline
+
+
+class TestVideoPipeArchitecture:
+    @pytest.fixture(scope="class")
+    def run(self, fitness_recognizer):
+        home, services, pipeline = deploy_fitness(fitness_recognizer)
+        home.run(until=11.0)
+        return home, services, pipeline
+
+    def test_placement_matches_fig4(self, run):
+        _, _, pipeline = run
+        assert pipeline.device_of("video_streaming_module") == "phone"
+        assert pipeline.device_of("pose_detector_module") == "desktop"
+        assert pipeline.device_of("activity_detector_module") == "desktop"
+        assert pipeline.device_of("rep_counter_module") == "tv"
+        assert pipeline.device_of("display_module") == "tv"
+
+    def test_frames_flow_to_display(self, run):
+        _, services, pipeline = run
+        assert services.sink.count > 50
+        assert pipeline.metrics.counter("frames_completed") > 50
+
+    def test_no_module_errors(self, run):
+        _, _, pipeline = run
+        for name in pipeline.module_names():
+            assert pipeline.module(name).errors == [], name
+
+    def test_no_frame_leaks(self, run):
+        home, _, pipeline = run
+        # run a little past the source's end so in-flight frames drain
+        home.run(until=12.0)
+        for device in home.devices.values():
+            assert len(device.frame_store) <= 1, device.name
+
+    def test_overlay_reaches_display(self, run):
+        _, services, _ = run
+        labelled = [f for f in services.sink.frames if f.label is not None]
+        assert labelled
+        assert all(f.label == "squat" for f in labelled[-10:])
+        counted = [f for f in services.sink.frames if f.reps is not None]
+        assert counted
+        # ~10 s of 2 s squats: the final count should be close to 4-5
+        assert 2 <= counted[-1].reps <= 6
+
+    def test_stage_latencies_recorded(self, run):
+        _, _, pipeline = run
+        means = pipeline.metrics.stage_means_ms()
+        for stage in ("load_frame", "pose_detection", "activity_detection",
+                      "rep_count", "total_duration"):
+            assert stage in means, stage
+        assert means["pose_detection"] > means["activity_detection"]
+        assert means["total_duration"] > means["pose_detection"]
+
+    def test_glass_to_glass_latency_sane(self, run):
+        _, services, _ = run
+        lags = [f.glass_to_glass_s for f in services.sink.frames]
+        # capture→screen including any source-side staleness
+        assert 0.05 < sum(lags) / len(lags) < 0.5
+
+    def test_pose_service_utilization_dominates(self, run):
+        home, _, _ = run
+        pose_host = home.registry.any_host("pose_detector")
+        activity_host = home.registry.any_host("activity_classifier")
+        assert pose_host.utilization() > activity_host.utilization()
+
+
+class TestBaselineArchitecture:
+    @pytest.fixture(scope="class")
+    def run(self, fitness_recognizer):
+        home, services, pipeline = deploy_fitness(fitness_recognizer,
+                                                  arch="baseline")
+        home.run(until=11.0)
+        return home, services, pipeline
+
+    def test_all_modules_on_phone(self, run):
+        _, _, pipeline = run
+        for name in pipeline.module_names():
+            assert pipeline.device_of(name) == "phone", name
+
+    def test_services_called_remotely(self, run):
+        home, _, _ = run
+        pose_host = home.registry.any_host("pose_detector")
+        assert pose_host.remote_calls > 0
+        assert pose_host.local_calls == 0
+
+    def test_still_produces_output(self, run):
+        _, services, pipeline = run
+        assert services.sink.count > 30
+        for name in pipeline.module_names():
+            assert pipeline.module(name).errors == [], name
+
+
+class TestArchitectureComparison:
+    def test_videopipe_beats_baseline_on_throughput(self, fitness_recognizer):
+        """§5.2.1: co-location wins once the source outruns the pipeline."""
+        results = {}
+        for arch in ("videopipe", "baseline"):
+            home, _, pipeline = deploy_fitness(fitness_recognizer, arch=arch,
+                                               fps=30.0, duration=12.0)
+            home.run(until=13.0)
+            results[arch] = pipeline.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert results["videopipe"] > results["baseline"] * 1.15
+
+    def test_videopipe_beats_baseline_on_every_stage(self, fitness_recognizer):
+        """Fig. 6's per-stage ordering."""
+        means = {}
+        for arch in ("videopipe", "baseline"):
+            home, _, pipeline = deploy_fitness(fitness_recognizer, arch=arch,
+                                               fps=10.0, duration=10.0)
+            home.run(until=11.0)
+            means[arch] = pipeline.metrics.stage_means_ms()
+        for stage in ("load_frame", "pose_detection", "activity_detection",
+                      "rep_count", "total_duration"):
+            assert means["videopipe"][stage] < means["baseline"][stage], stage
+
+    def test_throughput_saturates_with_source_rate(self, fitness_recognizer):
+        """Table 2: FPS tracks the source at low rates, then flattens."""
+        fps_out = {}
+        for fps in (5.0, 30.0, 60.0):
+            home, _, pipeline = deploy_fitness(fitness_recognizer, fps=fps,
+                                               duration=12.0)
+            home.run(until=13.0)
+            fps_out[fps] = pipeline.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert fps_out[5.0] == pytest.approx(5.0, abs=0.6)
+        assert fps_out[30.0] > 9.0
+        # saturation: tripling the source rate changes nothing
+        assert fps_out[60.0] == pytest.approx(fps_out[30.0], rel=0.1)
+
+    def test_source_drops_frames_beyond_capacity(self, fitness_recognizer):
+        home, _, pipeline = deploy_fitness(fitness_recognizer, fps=30.0,
+                                           duration=10.0)
+        home.run(until=11.0)
+        source = pipeline.module_instance("video_streaming_module").source
+        assert source.dropped_count > 100  # ~20 of 30 fps dropped at source
+        assert source.drop_rate > 0.5

@@ -1,0 +1,153 @@
+"""Integration tests: gesture control (§4.2), fall detection (§4.3), and
+service sharing across pipelines (§5.2.2)."""
+
+import pytest
+
+from repro.apps import (
+    FitnessApp,
+    fall_pipeline_config,
+    fitness_pipeline_config,
+    gesture_pipeline_config,
+    install_fitness_services,
+    install_gesture_services,
+)
+from repro.core import VideoPipe
+from repro.devices import DeviceSpec
+
+
+def gesture_camera():
+    return DeviceSpec(name="camera", kind="phone", cpu_factor=2.5, cores=8,
+                      supports_containers=False)
+
+
+def build_home(fitness_recognizer, gesture_recognizer, seed=3):
+    home = VideoPipe.paper_testbed(seed=seed)
+    home.add_device(gesture_camera())
+    fitness = install_fitness_services(home, recognizer=fitness_recognizer)
+    gesture = install_gesture_services(home, recognizer=gesture_recognizer)
+    return home, fitness, gesture
+
+
+class TestGestureControl:
+    @pytest.fixture(scope="class")
+    def run(self, fitness_recognizer, gesture_recognizer):
+        home, fitness, gesture = build_home(fitness_recognizer, gesture_recognizer)
+        pipeline = home.deploy_pipeline(
+            gesture_pipeline_config(fps=10.0, duration_s=10.0, motion="clap")
+        )
+        home.run(until=11.0)
+        return home, gesture, pipeline
+
+    def test_clapping_toggles_the_light(self, run):
+        _, gesture, pipeline = run
+        toggles = [e for e in gesture.fleet.log if e.target == "living_room_light"]
+        assert toggles  # the §4.2 scenario: clap -> light
+        assert pipeline.metrics.counter("gesture_triggers") == len(toggles)
+
+    def test_cooldown_limits_trigger_rate(self, run):
+        _, gesture, _ = run
+        toggles = [e.at for e in gesture.fleet.log if e.target == "living_room_light"]
+        gaps = [b - a for a, b in zip(toggles, toggles[1:])]
+        assert all(gap >= 2.0 for gap in gaps)
+
+    def test_wave_binding_untouched_by_claps(self, run):
+        _, gesture, _ = run
+        assert not [e for e in gesture.fleet.log if e.target == "doorbell_camera"]
+
+    def test_no_module_errors(self, run):
+        _, _, pipeline = run
+        for name in pipeline.module_names():
+            assert pipeline.module(name).errors == [], name
+
+    def test_waving_toggles_doorbell(self, fitness_recognizer, gesture_recognizer):
+        home, _, gesture = build_home(fitness_recognizer, gesture_recognizer, seed=4)
+        home.deploy_pipeline(
+            gesture_pipeline_config(fps=10.0, duration_s=8.0, motion="wave")
+        )
+        home.run(until=9.0)
+        assert [e for e in gesture.fleet.log if e.target == "doorbell_camera"]
+
+
+class TestFallDetection:
+    def test_fall_raises_alert(self, fitness_recognizer, gesture_recognizer):
+        home, _, gesture = build_home(fitness_recognizer, gesture_recognizer, seed=5)
+        pipeline = home.deploy_pipeline(
+            fall_pipeline_config(fps=10.0, duration_s=6.0, motion="fall")
+        )
+        home.run(until=7.0)
+        assert pipeline.metrics.counter("falls_detected") >= 1
+        assert gesture.fleet.states["caregiver_alert"] is True
+        detector = pipeline.module_instance("fall_detector_module")
+        # the synthetic fall completes ~0.9 s in; detection soon after
+        assert detector.falls_detected[0] < 3.0
+
+    def test_exercise_does_not_false_alarm(self, fitness_recognizer,
+                                           gesture_recognizer):
+        """Squats drop the hips too — the posture check must reject them."""
+        home, _, gesture = build_home(fitness_recognizer, gesture_recognizer, seed=6)
+        pipeline = home.deploy_pipeline(
+            fall_pipeline_config(fps=10.0, duration_s=8.0, motion="squat")
+        )
+        home.run(until=9.0)
+        assert pipeline.metrics.counter("falls_detected") == 0
+        assert gesture.fleet.states["caregiver_alert"] is False
+
+
+class TestServiceSharing:
+    """§5.2.2: the two applications share one pose detector service."""
+
+    @pytest.fixture(scope="class")
+    def run(self, fitness_recognizer, gesture_recognizer):
+        home, fitness, gesture = build_home(fitness_recognizer, gesture_recognizer)
+        app = FitnessApp(home, fitness)
+        p_fit = app.deploy(fitness_pipeline_config(fps=10.0, duration_s=12.0))
+        p_gest = home.deploy_pipeline(
+            gesture_pipeline_config(fps=10.0, duration_s=12.0)
+        )
+        home.run(until=13.0)
+        return home, p_fit, p_gest
+
+    def test_single_pose_host_serves_both(self, run):
+        home, p_fit, p_gest = run
+        hosts = home.registry.hosts_of("pose_detector")
+        assert len(hosts) == 1
+        served = hosts[0].local_calls + hosts[0].remote_calls
+        fit_frames = p_fit.metrics.counter("frames_completed")
+        gest_frames = p_gest.metrics.counter("frames_completed")
+        assert served >= fit_frames + gest_frames
+
+    def test_both_pipelines_make_progress(self, run):
+        _, p_fit, p_gest = run
+        f1 = p_fit.metrics.throughput_fps(13.0, warmup_s=2.0)
+        f2 = p_gest.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert f1 > 6.0
+        assert f2 > 6.0
+
+    def test_no_errors_anywhere(self, run):
+        _, p_fit, p_gest = run
+        for pipeline in (p_fit, p_gest):
+            for name in pipeline.module_names():
+                assert pipeline.module(name).errors == [], name
+
+    def test_sharing_degrades_at_high_rate(self, fitness_recognizer,
+                                           gesture_recognizer):
+        """Table 2 col 4: at a 20 FPS source the shared pose service is the
+        bottleneck and both pipelines fall below the solo saturation rate."""
+        # solo
+        home = VideoPipe.paper_testbed(seed=7)
+        fitness = install_fitness_services(home, recognizer=fitness_recognizer)
+        app = FitnessApp(home, fitness)
+        p_solo = app.deploy(fitness_pipeline_config(fps=20.0, duration_s=12.0))
+        home.run(until=13.0)
+        solo_fps = p_solo.metrics.throughput_fps(13.0, warmup_s=2.0)
+
+        # shared
+        home2, fitness2, _ = build_home(fitness_recognizer, gesture_recognizer,
+                                        seed=7)
+        app2 = FitnessApp(home2, fitness2)
+        p_fit = app2.deploy(fitness_pipeline_config(fps=20.0, duration_s=12.0))
+        home2.deploy_pipeline(gesture_pipeline_config(fps=20.0, duration_s=12.0))
+        home2.run(until=13.0)
+        shared_fps = p_fit.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert shared_fps < solo_fps
+        assert shared_fps > solo_fps * 0.6  # degraded, not starved

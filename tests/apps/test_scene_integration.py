@@ -1,0 +1,133 @@
+"""Integration: the scene-analytics (detect + track) pipeline (§4.3)."""
+
+import pytest
+
+from repro.apps import scene_pipeline_config
+from repro.apps.scene import MovingObject, SceneCamera, default_scene
+from repro.core import VideoPipe
+from repro.devices import DeviceSpec
+from repro.services import ObjectDetectionService, ObjectTrackingService
+
+import numpy as np
+
+
+def build_home(seed=17):
+    home = VideoPipe.paper_testbed(seed=seed)
+    home.add_device(DeviceSpec(name="camera", kind="phone", cpu_factor=2.5,
+                               cores=8))
+    home.deploy_service(ObjectDetectionService(), "desktop")
+    home.deploy_service(ObjectTrackingService(), "desktop")
+    return home
+
+
+class TestSceneCamera:
+    def test_frames_carry_pixels_and_truth(self):
+        camera = SceneCamera("cam", rng=np.random.default_rng(0))
+        frame = camera.capture(1, 0.0)
+        assert frame.pixels.shape == (120, 160, 3)
+        assert len(frame.metadata["truth_objects"]) == 3
+
+    def test_objects_move_between_frames(self):
+        camera = SceneCamera("cam", rng=np.random.default_rng(0))
+        early = camera.capture(1, 0.0).metadata["truth_objects"]
+        later = camera.capture(2, 1.0).metadata["truth_objects"]
+        assert early != later
+
+    def test_bounce_stays_in_frame(self):
+        obj = MovingObject(kind="cup", x=10, y=10, vx=50, vy=40, size=16)
+        for t in np.linspace(0, 20, 101):
+            scene_obj = obj.at(float(t), 160, 120)
+            assert scene_obj.bbox.x0 >= -1e-9
+            assert scene_obj.bbox.x1 <= 160 + 1e-9
+            assert scene_obj.bbox.y0 >= -1e-9
+            assert scene_obj.bbox.y1 <= 120 + 1e-9
+
+    def test_default_scene_distinct_kinds(self):
+        objects = default_scene(np.random.default_rng(0), 160, 120, count=3)
+        assert len({o.kind for o in objects}) == 3
+
+
+class TestScenePipeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        home = build_home()
+        pipeline = home.deploy_pipeline(
+            scene_pipeline_config(fps=10.0, duration_s=10.0)
+        )
+        home.run(until=11.0)
+        return home, pipeline
+
+    def test_placement_follows_services(self, run):
+        _, pipeline = run
+        assert pipeline.device_of("scene_camera_module") == "camera"
+        assert pipeline.device_of("object_detection_module") == "desktop"
+        assert pipeline.device_of("object_tracking_module") == "desktop"
+
+    def test_tracks_follow_the_objects(self, run):
+        """3 objects drift for ~100 frames; identities stay stable except
+        for brief merges when two blobs touch (the detector sees one
+        component then — honest CV behaviour)."""
+        _, pipeline = run
+        tracker = pipeline.module_instance("object_tracking_module")
+        assert pipeline.metrics.counter("frames_completed") > 50
+        assert 2 <= len(tracker.tracks) <= 4
+        assert pipeline.metrics.counter("tracks_created") <= 8
+        labels = {t["label"] for t in tracker.tracks}
+        assert len(labels) >= 2
+
+    def test_long_lived_identities_exist(self, run):
+        _, pipeline = run
+        tracker = pipeline.module_instance("object_tracking_module")
+        # the stable objects accumulated long hit streaks
+        assert max(t["hits"] for t in tracker.tracks) > 50
+
+    def test_no_errors_no_leaks(self, run):
+        home, pipeline = run
+        for name in pipeline.module_names():
+            assert pipeline.module(name).errors == [], name
+        home.run(until=12.0)
+        for device in home.devices.values():
+            assert len(device.frame_store) <= 1, device.name
+
+
+class TestTrackingServiceUnit:
+    def test_stateless_roundtrip(self):
+        """The service keeps no state: identical requests give identical
+        answers, and identity continuity comes only from shipped state."""
+        from repro.services import ServiceCallContext
+        from repro.frames import FrameStore
+        from repro.sim import Kernel
+
+        ctx = ServiceCallContext("d", FrameStore("d"),
+                                 np.random.default_rng(0), Kernel())
+        service = ObjectTrackingService()
+        request = {
+            "detections": [{"label": "cup", "bbox": (10, 10, 30, 30),
+                            "score": 0.9}],
+            "tracks": [],
+            "next_track_id": 1,
+        }
+        first = service.handle(dict(request), ctx)
+        again = service.handle(dict(request), ctx)
+        assert first == again  # no hidden state between calls
+        assert first["tracks"][0]["track_id"] == 1
+        # continuity: feeding the state back continues the same identity
+        followup = service.handle({
+            "detections": [{"label": "cup", "bbox": (12, 11, 32, 31),
+                            "score": 0.9}],
+            "tracks": first["tracks"],
+            "next_track_id": first["next_track_id"],
+        }, ctx)
+        assert followup["tracks"][0]["track_id"] == 1
+        assert followup["tracks"][0]["hits"] == 2
+
+    def test_bad_payload_rejected(self):
+        from repro.errors import ServiceError
+        from repro.services import ServiceCallContext
+        from repro.frames import FrameStore
+        from repro.sim import Kernel
+
+        ctx = ServiceCallContext("d", FrameStore("d"),
+                                 np.random.default_rng(0), Kernel())
+        with pytest.raises(ServiceError):
+            ObjectTrackingService().handle({"nope": 1}, ctx)

@@ -1,0 +1,121 @@
+"""Unit tests for the VideoPipe home facade."""
+
+import pytest
+
+from repro.core import VideoPipe
+from repro.devices import DeviceSpec
+from repro.errors import ConfigError, DeviceError
+from repro.net import BrokeredTransport, BrokerlessTransport
+from repro.services import FunctionService, ScalingPolicy
+
+
+class TestHomeConstruction:
+    def test_paper_testbed_devices(self):
+        home = VideoPipe.paper_testbed()
+        assert sorted(home.devices) == ["desktop", "phone", "tv"]
+        assert home.device("phone").spec.memory_mb == 6144
+
+    def test_add_device_by_kind_and_spec(self):
+        home = VideoPipe()
+        home.add_device("laptop")
+        home.add_device(DeviceSpec(name="cam2", kind="phone", cpu_factor=2.0))
+        assert sorted(home.devices) == ["cam2", "laptop"]
+
+    def test_duplicate_device_rejected(self):
+        home = VideoPipe.paper_testbed()
+        with pytest.raises(DeviceError):
+            home.add_device("phone")
+
+    def test_unknown_device_lookup(self):
+        with pytest.raises(DeviceError):
+            VideoPipe().device("ghost")
+
+    def test_devices_joined_to_wifi(self):
+        home = VideoPipe.paper_testbed()
+        links = home.topology.path_links("phone", "tv")
+        assert len(links) == 2  # via the access point
+
+    def test_default_transport_is_brokerless(self):
+        home = VideoPipe.paper_testbed()
+        assert isinstance(home._get_transport(), BrokerlessTransport)
+
+    def test_broker_transport(self):
+        home = VideoPipe(transport="broker", broker_device="hub")
+        home.add_device(DeviceSpec(name="hub", kind="desktop", cpu_factor=1.0,
+                                   supports_containers=True))
+        assert isinstance(home._get_transport(), BrokeredTransport)
+
+    def test_broker_without_device_rejected(self):
+        home = VideoPipe(transport="broker")
+        with pytest.raises(ConfigError):
+            home.add_device("phone")
+
+    def test_unknown_transport_rejected(self):
+        home = VideoPipe(transport="pigeon")
+        with pytest.raises(ConfigError):
+            home.add_device("phone")
+
+
+class TestServiceDeployment:
+    def test_container_service_placement_enforced(self):
+        home = VideoPipe.paper_testbed()
+        service = FunctionService("svc", lambda p, c: p, default_port=7300)
+        with pytest.raises(DeviceError):
+            home.deploy_service(service, "tv")  # TVs can't run containers
+        host = home.deploy_service(service, "desktop")
+        assert home.registry.any_host("svc") is host
+
+    def test_native_service_runs_anywhere(self):
+        home = VideoPipe.paper_testbed()
+        service = FunctionService("disp", lambda p, c: p, default_port=7301)
+        host = home.deploy_service(service, "tv", native=True)
+        assert host.native
+
+    def test_replicas_passed_through(self):
+        home = VideoPipe.paper_testbed()
+        host = home.deploy_service(
+            FunctionService("svc", lambda p, c: p, default_port=7300),
+            "desktop", replicas=3,
+        )
+        assert host.replicas == 3
+
+
+class TestAutoscaling:
+    def test_enable_watches_existing_and_future_hosts(self):
+        home = VideoPipe.paper_testbed()
+        home.deploy_service(FunctionService("a", lambda p, c: p,
+                                            default_port=7300), "desktop")
+        scaler = home.enable_autoscaling(ScalingPolicy(check_interval_s=0.1))
+        home.deploy_service(FunctionService("b", lambda p, c: p,
+                                            default_port=7301), "desktop")
+        assert len(scaler._hosts) == 2
+
+    def test_enable_is_idempotent(self):
+        home = VideoPipe.paper_testbed()
+        first = home.enable_autoscaling()
+        assert home.enable_autoscaling() is first
+
+
+class TestExecution:
+    def test_run_for_advances_clock(self):
+        home = VideoPipe.paper_testbed()
+        home.run_for(2.5)
+        assert home.now == pytest.approx(2.5)
+        home.run_for(1.0)
+        assert home.now == pytest.approx(3.5)
+
+    def test_plan_strategies(self):
+        from repro.pipeline import ModuleConfig, PipelineConfig
+
+        home = VideoPipe.paper_testbed()
+        config = PipelineConfig(
+            name="p",
+            modules=[ModuleConfig(name="m", include="./M.js",
+                                  endpoint="bind#tcp://*:6000")],
+        )
+        colocated = home.plan(config, default_device="phone")
+        assert colocated.strategy == "colocated"
+        single = home.plan(config, strategy="single-host", host_device="phone")
+        assert single.strategy == "single-host"
+        with pytest.raises(ConfigError):
+            home.plan(config, strategy="scatter")

@@ -1,0 +1,85 @@
+"""Property-based tests for the §2.3 no-queue flow-control protocol."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames import VideoFrame, VideoSource
+from repro.sim import Kernel
+
+
+def camera(frame_id, t):
+    return VideoFrame(frame_id=frame_id, source="cam", capture_time=t)
+
+
+@given(
+    fps=st.floats(min_value=2.0, max_value=60.0),
+    processing_s=st.floats(min_value=0.001, max_value=0.5),
+    duration_s=st.floats(min_value=1.0, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_invariants_hold_for_any_sink_speed(fps, processing_s, duration_s):
+    """For any (source rate, sink speed): at most one frame in flight,
+    conservation of frames, and throughput bounded by both the source and
+    the sink."""
+    kernel = Kernel()
+    in_flight = {"count": 0, "max": 0}
+    received = []
+
+    def deliver(frame):
+        in_flight["count"] += 1
+        in_flight["max"] = max(in_flight["max"], in_flight["count"])
+        received.append(frame)
+
+        def finish():
+            in_flight["count"] -= 1
+            source.grant_credit()
+
+        kernel.schedule(processing_s, finish)
+
+    source = VideoSource(kernel, camera, fps=fps, deliver=deliver)
+    source.start(duration_s=duration_s)
+    kernel.run()
+
+    # invariant 1: the one-frame-in-flight rule
+    assert in_flight["max"] <= 1
+
+    # invariant 2: conservation — every captured frame is emitted, dropped,
+    # or (at most one) still buffered at shutdown
+    buffered = 1 if source._pending is not None else 0
+    assert source.captured_count == (
+        source.emitted_count + source.dropped_count + buffered
+    )
+
+    # invariant 3: ordering and freshness — frames arrive in capture order
+    ids = [f.frame_id for f in received]
+    assert ids == sorted(ids)
+
+    # invariant 4: throughput is bounded by source and sink capacity
+    rate = len(received) / duration_s
+    assert rate <= fps + 1.0
+    assert rate <= 1.0 / processing_s + 2.0
+
+
+@given(
+    fps=st.floats(min_value=5.0, max_value=50.0),
+    processing_s=st.floats(min_value=0.001, max_value=0.05),
+)
+@settings(max_examples=40, deadline=None)
+def test_fast_sink_never_drops(fps, processing_s):
+    """When the sink is faster than the source interval, nothing drops."""
+    if processing_s >= 1.0 / fps:
+        return  # not the fast-sink regime
+    kernel = Kernel()
+    received = []
+
+    def deliver(frame):
+        received.append(frame)
+        kernel.schedule(processing_s, source.grant_credit)
+
+    source = VideoSource(kernel, camera, fps=fps, deliver=deliver)
+    source.start(duration_s=3.0)
+    kernel.run()
+    assert source.dropped_count == 0
+    assert len(received) == source.captured_count - (
+        1 if source._pending is not None else 0
+    )

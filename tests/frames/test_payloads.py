@@ -1,0 +1,193 @@
+"""Unit and property tests for payload boundary transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames import FrameStore, SyntheticCamera, VideoFrame
+from repro.frames.codec import EncodedFrame
+from repro.frames.payloads import (
+    add_refs,
+    collect_leaves,
+    decode_frames_from_wire,
+    decode_frames_inline,
+    encode_refs_for_wire,
+    frame_refs_in,
+    map_leaves,
+    release_refs,
+    resolve_refs,
+)
+from repro.motion import Squat
+
+
+def frame(frame_id=1):
+    return SyntheticCamera("phone", Squat()).capture(frame_id, 0.0)
+
+
+class TestMapLeaves:
+    def test_rebuilds_nested_containers(self):
+        payload = {"a": [1, (2, {"b": 3})], "c": None}
+        doubled = map_leaves(payload, lambda v: v * 2 if isinstance(v, int) else v)
+        assert doubled == {"a": [2, (4, {"b": 6})], "c": None}
+
+    def test_preserves_container_types(self):
+        out = map_leaves({"t": (1, 2)}, lambda v: v)
+        assert isinstance(out["t"], tuple)
+
+    def test_collect_leaves_in_order(self):
+        payload = {"a": 1, "b": [2, 3], "c": {"d": 4}}
+        assert collect_leaves(payload, lambda v: isinstance(v, int)) == [1, 2, 3, 4]
+
+
+class TestShipAndLand:
+    def test_ship_encodes_and_moves_ownership(self):
+        store = FrameStore("phone")
+        ref = store.put(frame())
+        payload = {"frame": ref, "meta": 7}
+        wire, cost, shipped = encode_refs_for_wire(payload, store)
+        assert shipped == 1
+        assert cost > 0
+        assert isinstance(wire["frame"], EncodedFrame)
+        assert wire["meta"] == 7
+        assert len(store) == 0  # hold released: ownership moved
+
+    def test_ship_borrowing_keeps_hold(self):
+        store = FrameStore("phone")
+        ref = store.put(frame())
+        _, _, shipped = encode_refs_for_wire({"frame": ref}, store, release=False)
+        assert shipped == 1
+        assert store.contains(ref)
+
+    def test_non_frame_objects_ship_as_plain_values(self):
+        store = FrameStore("phone")
+        ref = store.put({"not": "a frame"})
+        wire, cost, shipped = encode_refs_for_wire({"x": ref}, store)
+        assert wire["x"] == {"not": "a frame"}
+        assert shipped == 0
+        assert cost == 0
+
+    def test_land_restores_local_refs(self):
+        phone = FrameStore("phone")
+        desktop = FrameStore("desktop")
+        ref = phone.put(frame(5))
+        wire, _, _ = encode_refs_for_wire({"frame": ref}, phone)
+        landed, cost, count = decode_frames_from_wire(wire, desktop)
+        assert count == 1
+        assert cost > 0
+        new_ref = landed["frame"]
+        assert new_ref.device == "desktop"
+        assert desktop.get(new_ref).frame_id == 5
+
+    def test_land_inline_yields_bare_frames(self):
+        phone = FrameStore("phone")
+        ref = phone.put(frame(9))
+        wire, _, _ = encode_refs_for_wire({"frame": ref}, phone)
+        landed, cost = decode_frames_inline(wire)
+        assert isinstance(landed["frame"], VideoFrame)
+        assert landed["frame"].frame_id == 9
+        assert cost > 0
+
+    def test_roundtrip_preserves_truth_annotation(self):
+        phone = FrameStore("phone")
+        desktop = FrameStore("desktop")
+        original = frame()
+        wire, _, _ = encode_refs_for_wire({"frame": phone.put(original)}, phone)
+        landed, _, _ = decode_frames_from_wire(wire, desktop)
+        arrived = desktop.get(landed["frame"])
+        assert arrived.truth is not None
+        assert arrived.metadata["activity"] == "squat"
+
+
+class TestRefHelpers:
+    def test_frame_refs_in_finds_nested(self):
+        store = FrameStore("phone")
+        refs = [store.put(frame(i)) for i in range(3)]
+        payload = {"a": refs[0], "b": [refs[1], {"c": refs[2]}], "d": 1}
+        assert frame_refs_in(payload) == refs
+
+    def test_resolve_refs_borrows(self):
+        store = FrameStore("phone")
+        f = frame()
+        ref = store.put(f)
+        resolved = resolve_refs({"frame": ref}, store)
+        assert resolved["frame"] is f
+        assert store.contains(ref)
+
+    def test_add_and_release_balance(self):
+        store = FrameStore("phone")
+        ref = store.put(frame())
+        payload = {"frame": ref}
+        assert add_refs(payload, store) == 1
+        assert store.refcount(ref) == 2
+        assert release_refs(payload, store) == 1
+        assert store.refcount(ref) == 1
+
+    def test_release_ignores_foreign_refs(self):
+        phone = FrameStore("phone")
+        desktop = FrameStore("desktop")
+        ref = phone.put(frame())
+        assert release_refs({"frame": ref}, desktop) == 0
+        assert phone.contains(ref)
+
+
+payload_shapes = st.recursive(
+    st.none() | st.integers(-100, 100) | st.text(max_size=8)
+    | st.just("FRAME_SLOT"),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(min_size=1, max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(shape=payload_shapes)
+@settings(max_examples=80)
+def test_property_ship_land_roundtrip_balances_stores(shape):
+    """For any payload shape: shipping from one store and landing on another
+    moves every frame exactly once and leaks nothing."""
+    phone = FrameStore("phone", capacity=1000)
+    desktop = FrameStore("desktop", capacity=1000)
+    counter = {"n": 0}
+
+    def fill(leaf):
+        if leaf == "FRAME_SLOT":
+            counter["n"] += 1
+            return phone.put(frame(counter["n"]))
+        return leaf
+
+    payload = map_leaves(shape, fill)
+    n_frames = counter["n"]
+    assert len(phone) == n_frames
+
+    wire, _, shipped = encode_refs_for_wire(payload, phone)
+    assert shipped == n_frames
+    assert len(phone) == 0
+
+    landed, _, count = decode_frames_from_wire(wire, desktop)
+    assert count == n_frames
+    assert len(desktop) == n_frames
+
+    # every landed ref resolves to a distinct frame id
+    ids = {desktop.get(r).frame_id for r in frame_refs_in(landed)}
+    assert len(ids) == n_frames
+
+
+@given(shape=payload_shapes, extra_holds=st.integers(0, 3))
+@settings(max_examples=50)
+def test_property_add_release_never_corrupts(shape, extra_holds):
+    """add_refs/release_refs cycles leave refcounts exactly balanced."""
+    store = FrameStore("dev", capacity=1000)
+    counter = {"n": 0}
+
+    def fill(leaf):
+        if leaf == "FRAME_SLOT":
+            counter["n"] += 1
+            return store.put(frame(counter["n"]))
+        return leaf
+
+    payload = map_leaves(shape, fill)
+    for _ in range(extra_holds):
+        add_refs(payload, store)
+    for _ in range(extra_holds):
+        release_refs(payload, store)
+    for ref in frame_refs_in(payload):
+        assert store.refcount(ref) == 1

@@ -1,0 +1,10 @@
+"""Shared trained models for integration tests."""
+
+import pytest
+
+from repro.apps import train_activity_recognizer
+
+
+@pytest.fixture(scope="session")
+def fitness_recognizer():
+    return train_activity_recognizer(seed=1, train_subjects=4)

@@ -1,0 +1,74 @@
+"""Integration: whole-system determinism.
+
+The benchmark numbers are only trustworthy if the entire home — kernel,
+links, CPUs, cameras, noise models, services — replays identically from a
+seed.
+"""
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.core import VideoPipe
+
+
+def run_fitness(seed, recognizer, fps=20.0, duration=8.0):
+    home = VideoPipe.paper_testbed(seed=seed)
+    services = install_fitness_services(home, recognizer=recognizer)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    home.run(until=duration + 1.0)
+    return {
+        "completed": pipeline.metrics.counter("frames_completed"),
+        "latencies": tuple(round(v, 12) for v in pipeline.metrics.total_latencies),
+        "stage_means": tuple(sorted(
+            (k, round(v, 9))
+            for k, v in pipeline.metrics.stage_means_ms().items()
+        )),
+        "displayed": services.sink.count,
+        "last_reps": services.sink.frames[-1].reps,
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self, fitness_recognizer):
+        first = run_fitness(99, fitness_recognizer)
+        second = run_fitness(99, fitness_recognizer)
+        assert first == second
+
+    def test_different_seeds_diverge(self, fitness_recognizer):
+        a = run_fitness(99, fitness_recognizer)
+        b = run_fitness(100, fitness_recognizer)
+        assert a["latencies"] != b["latencies"]
+
+    def test_two_pipeline_home_is_deterministic(self, fitness_recognizer):
+        from repro.apps import (gesture_pipeline_config,
+                                install_gesture_services,
+                                train_gesture_recognizer)
+        from repro.devices import DeviceSpec
+
+        gesture_recognizer = train_gesture_recognizer(seed=1, train_subjects=2)
+
+        def run(seed):
+            home = VideoPipe.paper_testbed(seed=seed)
+            home.add_device(DeviceSpec(name="camera", kind="phone",
+                                       cpu_factor=2.5, cores=8))
+            fitness = install_fitness_services(home,
+                                               recognizer=fitness_recognizer)
+            gesture = install_gesture_services(home,
+                                               recognizer=gesture_recognizer)
+            app = FitnessApp(home, fitness)
+            p1 = app.deploy(fitness_pipeline_config(fps=20.0, duration_s=6.0))
+            p2 = home.deploy_pipeline(
+                gesture_pipeline_config(fps=20.0, duration_s=6.0)
+            )
+            home.run(until=7.0)
+            return (
+                p1.metrics.counter("frames_completed"),
+                p2.metrics.counter("frames_completed"),
+                tuple(round(v, 12) for v in p1.metrics.total_latencies),
+                tuple((e.at, e.target, e.new_state) for e in gesture.fleet.log),
+            )
+
+        assert run(7) == run(7)

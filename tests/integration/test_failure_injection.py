@@ -1,0 +1,141 @@
+"""Integration: the pipeline under injected faults.
+
+A production framework must degrade, not die: lossy Wi-Fi slows frames
+down (TCP retransmits), a crashing service fails individual frames while
+the pipeline keeps flowing, and pose misses release their frames and refill
+the source credit.
+"""
+
+import pytest
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.core import VideoPipe
+from repro.net import LinkSpec
+from repro.services import FunctionService
+from repro.vision.pose_estimator import PoseNoiseModel
+
+
+def deploy(home, recognizer, fps=10.0, duration=10.0, **service_kwargs):
+    services = install_fitness_services(home, recognizer=recognizer,
+                                        **service_kwargs)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    return services, pipeline
+
+
+class TestLossyWifi:
+    def test_pipeline_survives_heavy_loss(self, fitness_recognizer):
+        lossy = LinkSpec(latency_s=0.0012, jitter_cv=0.25,
+                         bandwidth_bps=120e6, loss_prob=0.15,
+                         retransmit_penalty_s=0.05)
+        home = VideoPipe.paper_testbed(seed=4, wifi=lossy)
+        services, pipeline = deploy(home, fitness_recognizer)
+        home.run(until=11.0)
+        assert services.sink.count > 20  # slower, but alive
+        for name in pipeline.module_names():
+            assert pipeline.module(name).errors == []
+
+    def test_loss_costs_throughput(self, fitness_recognizer):
+        rates = {}
+        for loss in (0.0, 0.25):
+            wifi = LinkSpec(latency_s=0.0012, jitter_cv=0.25,
+                            bandwidth_bps=120e6, loss_prob=loss,
+                            retransmit_penalty_s=0.05)
+            home = VideoPipe.paper_testbed(seed=4, wifi=wifi)
+            _, pipeline = deploy(home, fitness_recognizer, fps=30.0,
+                                 duration=12.0)
+            home.run(until=13.0)
+            rates[loss] = pipeline.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert rates[0.25] < rates[0.0] * 0.9
+
+
+class TestServiceCrashes:
+    def test_flaky_display_service_does_not_stall_the_pipeline(
+            self, fitness_recognizer):
+        """Every display call fails — frames still complete and the source
+        keeps receiving credits (the signal precedes the local call)."""
+        home = VideoPipe.paper_testbed(seed=5)
+        services, pipeline = deploy(home, fitness_recognizer)
+
+        def explode(payload, ctx):
+            raise RuntimeError("panel driver crashed")
+
+        # sabotage the display service behind its host
+        display_host = home.registry.any_host("display")
+        display_host.service.handle = explode
+        home.run(until=11.0)
+        # frames completed (the metric is recorded before the call resolves)
+        assert pipeline.metrics.counter("frames_completed") > 30
+        # each failed call surfaced as a module error, not a deadlock
+        display_module = pipeline.module("display_module")
+        assert len(display_module.errors) > 30
+        assert display_host.errors > 30
+
+    def test_flaky_pose_service_fails_frames_not_pipeline(
+            self, fitness_recognizer):
+        """The pose service crashes on every 3rd call; other frames flow."""
+        home = VideoPipe.paper_testbed(seed=6)
+        services, pipeline = deploy(home, fitness_recognizer)
+        pose_host = home.registry.any_host("pose_detector")
+        original = pose_host.service.handle
+        calls = {"n": 0}
+
+        def sometimes(payload, ctx):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:
+                raise RuntimeError("inference engine fault")
+            return original(payload, ctx)
+
+        pose_host.service.handle = sometimes
+        home.run(until=11.0)
+        pose_module = pipeline.module("pose_detector_module")
+        assert pose_module.errors  # the failures were recorded
+        assert services.sink.count > 10  # the surviving 2/3 still display
+
+
+class TestPoseMisses:
+    def test_missed_detections_release_frames_and_credit(
+            self, fitness_recognizer):
+        """With a high miss probability, dropped frames must neither leak
+        references nor wedge the credit loop."""
+        home = VideoPipe.paper_testbed(seed=7)
+        services, pipeline = deploy(
+            home, fitness_recognizer,
+            pose_noise=PoseNoiseModel(miss_prob=0.3),
+        )
+        home.run(until=12.0)
+        misses = pipeline.metrics.counter("pose_misses")
+        assert misses > 5
+        # pipeline kept going after every miss
+        assert services.sink.count > 20
+        # no leaked frames once drained
+        for device in home.devices.values():
+            assert len(device.frame_store) <= 1, device.name
+
+
+class TestOverloadedDevice:
+    def test_busy_desktop_slows_but_does_not_break(self, fitness_recognizer):
+        """A rogue co-tenant service burns desktop cores; the pipeline
+        queues behind it but completes frames."""
+        home = VideoPipe.paper_testbed(seed=8)
+        burner = FunctionService("burner", lambda p, c: p,
+                                 reference_cost_s=0.030, default_port=7800)
+        burner_host = home.deploy_service(burner, "desktop", replicas=8)
+        services, pipeline = deploy(home, fitness_recognizer, fps=30.0,
+                                    duration=12.0)
+
+        def burn():
+            while home.now < 12.0:
+                for _ in range(8):
+                    burner_host.call_local({})
+                yield 0.03
+
+        home.kernel.process(burn())
+        home.run(until=13.0)
+        fps = pipeline.metrics.throughput_fps(13.0, warmup_s=2.0)
+        assert 2.0 < fps < 10.5  # degraded by contention, still flowing
+        assert home.device("desktop").cpu.utilization() > 0.5

@@ -1,0 +1,52 @@
+"""Integration: the same system paced against the wall clock."""
+
+import time as wall
+
+import pytest
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.core import VideoPipe
+
+
+class TestRealtimeMode:
+    def test_fitness_pipeline_runs_in_realtime(self, fitness_recognizer):
+        """The exact pipeline from the benchmarks, synchronized to the wall
+        clock at 50x speed: 5 simulated seconds in ~0.1 wall seconds."""
+        home = VideoPipe.paper_testbed(seed=2, realtime=True, speed=50.0)
+        services = install_fitness_services(home, recognizer=fitness_recognizer)
+        app = FitnessApp(home, services)
+        pipeline = app.deploy(fitness_pipeline_config(fps=10.0, duration_s=5.0))
+
+        start = wall.monotonic()
+        home.run(until=5.5)
+        elapsed = wall.monotonic() - start
+
+        # paced: 5.5 sim-seconds at 50x is 0.11 wall-seconds minimum
+        assert elapsed >= 0.1
+        assert services.sink.count > 20
+        fps = pipeline.metrics.throughput_fps(5.5, warmup_s=1.0)
+        assert 6.0 < fps < 11.0
+
+    def test_realtime_and_simulated_agree(self, fitness_recognizer):
+        """Wall pacing must not change any simulated outcome."""
+        results = []
+        for realtime in (False, True):
+            home = VideoPipe.paper_testbed(seed=3, realtime=realtime,
+                                           speed=200.0)
+            services = install_fitness_services(home,
+                                                recognizer=fitness_recognizer)
+            app = FitnessApp(home, services)
+            pipeline = app.deploy(
+                fitness_pipeline_config(fps=10.0, duration_s=4.0)
+            )
+            home.run(until=4.5)
+            results.append(
+                (services.sink.count,
+                 pipeline.metrics.counter("frames_completed"),
+                 round(pipeline.metrics.total_latency_summary().mean, 9))
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,121 @@
+"""Unit tests for the metrics package."""
+
+import pytest
+
+from repro.metrics import (
+    MetricsCollector,
+    RateMeter,
+    format_comparison,
+    format_table,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentiles_ordered(self):
+        summary = summarize(range(100))
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+
+    def test_scaled(self):
+        ms = summarize([0.5]).scaled(1e3)
+        assert ms.mean == 500.0
+        assert ms.count == 1
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "p50", "p90", "p99", "max"}
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter()
+        for t in [0.5, 1.0, 1.5, 2.0]:
+            meter.tick(t)
+        assert meter.rate(end_time=2.0) == pytest.approx(2.0)
+        assert meter.count == 4
+
+    def test_warmup_excluded(self):
+        meter = RateMeter()
+        for t in [0.1, 0.2, 1.5, 2.0]:
+            meter.tick(t)
+        assert meter.rate(end_time=2.0, warmup_s=1.0) == pytest.approx(2.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter().rate(end_time=1.0, warmup_s=1.0)
+
+
+class TestMetricsCollector:
+    def test_stage_recording(self):
+        collector = MetricsCollector("p")
+        collector.record_stage("pose", 0.05)
+        collector.record_stage("pose", 0.07)
+        assert collector.stage_names() == ["pose"]
+        assert collector.stage_summary("pose").mean == pytest.approx(0.06)
+        assert collector.stage_means_ms()["pose"] == pytest.approx(60.0)
+
+    def test_frame_lifecycle(self):
+        collector = MetricsCollector("p")
+        collector.frame_entered(1, 0.0)
+        collector.frame_entered(2, 0.1)
+        collector.frame_completed(1, 0.09)
+        collector.frame_completed(2, 0.21)
+        assert collector.counter("frames_entered") == 2
+        assert collector.counter("frames_completed") == 2
+        latency = collector.total_latency_summary()
+        assert latency.count == 2
+        assert latency.mean == pytest.approx(0.10)
+
+    def test_completion_without_entry_still_counts(self):
+        collector = MetricsCollector("p")
+        collector.frame_completed(99, 1.0)
+        assert collector.counter("frames_completed") == 1
+        assert collector.total_latencies == []
+
+    def test_throughput(self):
+        collector = MetricsCollector("p")
+        for i in range(10):
+            collector.frame_completed(i, 0.1 * (i + 1))
+        assert collector.throughput_fps(end_time=1.0) == pytest.approx(10.0)
+
+    def test_counters(self):
+        collector = MetricsCollector("p")
+        collector.increment("drops")
+        collector.increment("drops", 4)
+        assert collector.counter("drops") == 5
+        assert collector.counter("missing") == 0
+        assert collector.counters() == {"drops": 5}
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["Source FPS", "VideoPipe", "Baseline"],
+            [[5, 4.53, 4.52], [10, 8.21, 7.79]],
+            title="Table 2",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Source FPS" in lines[1]
+        assert "4.53" in text
+        # all data rows share the header's width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_format_comparison(self):
+        line = format_comparison("fps", 11.0, 10.2, note="saturation")
+        assert "paper=11.0" in line
+        assert "measured=10.2" in line
+        assert "saturation" in line

@@ -1,0 +1,104 @@
+"""Unit tests for the link model."""
+
+import pytest
+
+from repro.net import Link, LinkSpec
+from repro.sim import Kernel, Resource, RngStreams
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def rng():
+    return RngStreams(seed=1).stream("test-link")
+
+
+class TestLinkSpec:
+    def test_transmission_time(self):
+        spec = LinkSpec(bandwidth_bps=100e6)
+        # 45 KB at 100 Mbit/s = 3.6 ms
+        assert spec.transmission_time(45000) == pytest.approx(0.0036)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency_s=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkSpec(loss_prob=1.5)
+
+
+class TestLinkTransfer:
+    def test_deterministic_delay_without_jitter(self, kernel):
+        spec = LinkSpec(latency_s=0.002, jitter_cv=0.0, bandwidth_bps=100e6)
+        link = Link(kernel, spec, rng())
+        done = link.transfer(45000)
+        kernel.run()
+        assert done.value == pytest.approx(0.002 + 0.0036)
+
+    def test_transfers_serialize_on_medium(self, kernel):
+        spec = LinkSpec(latency_s=0.0, jitter_cv=0.0, bandwidth_bps=1e6)
+        link = Link(kernel, spec, rng())
+        first = link.transfer(125000)  # 1 second of airtime
+        second = link.transfer(125000)
+        kernel.run()
+        assert first.value == pytest.approx(1.0)
+        assert second.value == pytest.approx(2.0)
+
+    def test_shared_medium_couples_two_links(self, kernel):
+        spec = LinkSpec(latency_s=0.0, jitter_cv=0.0, bandwidth_bps=1e6)
+        medium = Resource(kernel, 1, "shared")
+        link_a = Link(kernel, spec, rng(), medium=medium)
+        link_b = Link(kernel, spec, rng(), medium=medium)
+        first = link_a.transfer(125000)
+        second = link_b.transfer(125000)  # must wait for link_a's airtime
+        kernel.run()
+        assert first.value == pytest.approx(1.0)
+        assert second.value == pytest.approx(2.0)
+
+    def test_private_media_do_not_couple(self, kernel):
+        spec = LinkSpec(latency_s=0.0, jitter_cv=0.0, bandwidth_bps=1e6)
+        link_a = Link(kernel, spec, rng())
+        link_b = Link(kernel, spec, rng())
+        first = link_a.transfer(125000)
+        second = link_b.transfer(125000)
+        kernel.run()
+        assert first.value == pytest.approx(1.0)
+        assert second.value == pytest.approx(1.0)
+
+    def test_loss_adds_retransmit_penalty(self, kernel):
+        spec = LinkSpec(
+            latency_s=0.0, jitter_cv=0.0, bandwidth_bps=1e9,
+            loss_prob=0.999999, retransmit_penalty_s=0.5,
+        )
+        link = Link(kernel, spec, rng())
+        done = link.transfer(1000)
+        kernel.run()
+        assert done.value >= 0.5
+        assert link.retransmits == 1
+
+    def test_counters(self, kernel):
+        link = Link(kernel, LinkSpec(jitter_cv=0.0), rng())
+        link.transfer(100)
+        link.transfer(200)
+        kernel.run()
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 300
+
+    def test_expected_delay(self):
+        spec = LinkSpec(latency_s=0.002, jitter_cv=0.3, bandwidth_bps=100e6)
+        link = Link(Kernel(), spec, rng())
+        assert link.expected_delay(45000) == pytest.approx(0.0056)
+
+    def test_jitter_produces_variation_with_correct_mean(self, kernel):
+        spec = LinkSpec(latency_s=0.010, jitter_cv=0.3, bandwidth_bps=1e12)
+        link = Link(kernel, spec, rng())
+        signals = [link.transfer(1) for _ in range(400)]
+        kernel.run()
+        # arrival deltas ~ latency draws; mean should be near 10 ms
+        arrivals = sorted(sig.value for sig in signals)
+        assert min(arrivals) != max(arrivals)
+        mean = sum(arrivals) / len(arrivals)
+        assert mean == pytest.approx(0.010, rel=0.15)

@@ -1,0 +1,99 @@
+"""Property-based tests for the network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LinkSpec, Topology
+from repro.net.wire import WireFormatError, decode, encode
+from repro.sim import Kernel, RngStreams
+
+
+@given(data=st.binary(min_size=0, max_size=200))
+@settings(max_examples=200)
+def test_decode_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode (if they happen to be valid) or raise
+    exactly WireFormatError — never any other exception."""
+    try:
+        decode(data)
+    except WireFormatError:
+        pass
+
+
+@given(data=st.binary(min_size=1, max_size=100), cut=st.integers(0, 99))
+@settings(max_examples=100)
+def test_truncated_valid_messages_rejected_cleanly(data, cut):
+    wire = encode(data)
+    truncated = wire[: min(cut, len(wire) - 1)]
+    try:
+        value = decode(truncated)
+    except WireFormatError:
+        return
+    # the only way truncation can 'succeed' is the degenerate empty prefix
+    # case, which cannot equal the original payload
+    assert value != data or truncated == wire
+
+
+@given(
+    n_devices=st.integers(2, 6),
+    nbytes=st.integers(100, 200_000),
+    latency_ms=st.floats(0.1, 10.0),
+    bandwidth_mbps=st.floats(10.0, 500.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_star_transfer_time_matches_closed_form(n_devices, nbytes, latency_ms,
+                                                bandwidth_mbps):
+    """Uncontended star-topology transfers take exactly
+    2 * (latency + bytes/bandwidth) — the two-hop relay through the AP."""
+    kernel = Kernel()
+    spec = LinkSpec(latency_s=latency_ms / 1e3, jitter_cv=0.0,
+                    bandwidth_bps=bandwidth_mbps * 1e6)
+    topo = Topology(kernel, RngStreams(seed=1))
+    topo.add_wifi("wifi", spec)
+    names = [f"d{i}" for i in range(n_devices)]
+    for name in names:
+        topo.attach(name, "wifi")
+    done = topo.transfer(names[0], names[-1], nbytes)
+    kernel.run()
+    expected = 2 * (latency_ms / 1e3 + nbytes * 8 / (bandwidth_mbps * 1e6))
+    assert abs(done.value - expected) < 1e-9
+    assert abs(topo.expected_delay(names[0], names[-1], nbytes) - expected) < 1e-9
+
+
+@given(
+    transfers=st.lists(st.integers(1_000, 100_000), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_shared_medium_serializes_total_airtime(transfers):
+    """On a zero-latency shared medium, total completion time is exactly
+    the sum of all hops' transmission times (perfect serialization)."""
+    kernel = Kernel()
+    spec = LinkSpec(latency_s=0.0, jitter_cv=0.0, bandwidth_bps=50e6)
+    topo = Topology(kernel, RngStreams(seed=1))
+    topo.add_wifi("wifi", spec)
+    for name in ("a", "b", "c"):
+        topo.attach(name, "wifi")
+    signals = [topo.transfer("a", "b", n) for n in transfers]
+    kernel.run()
+    total_airtime = sum(2 * n * 8 / 50e6 for n in transfers)
+    assert max(s.value for s in signals) <= total_airtime + 1e-9
+    # and it cannot beat the serialized bound either
+    assert abs(max(s.value for s in signals) - total_airtime) < 1e-6
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_jittered_transfers_replay_identically(seed):
+    """Same seed, same topology build order => identical arrival times."""
+
+    def run():
+        kernel = Kernel()
+        topo = Topology(kernel, RngStreams(seed=seed))
+        topo.add_wifi("wifi", LinkSpec(latency_s=0.002, jitter_cv=0.3))
+        for name in ("a", "b"):
+            topo.attach(name, "wifi")
+        arrivals = [topo.transfer("a", "b", 10_000) for _ in range(5)]
+        kernel.run()
+        return [s.value for s in arrivals]
+
+    assert run() == run()

@@ -1,0 +1,152 @@
+"""Unit tests for ZeroMQ-style socket patterns."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    Address,
+    BrokerlessTransport,
+    LinkSpec,
+    PubSocket,
+    PullSocket,
+    PushSocket,
+    SubSocket,
+    Topology,
+)
+from repro.sim import Kernel, RngStreams
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def net(kernel):
+    topo = Topology(kernel, RngStreams(seed=1))
+    topo.add_wifi("wifi", LinkSpec(jitter_cv=0.0))
+    for device in ["phone", "desktop", "tv"]:
+        topo.attach(device, "wifi")
+    return BrokerlessTransport(kernel, topo)
+
+
+class TestPushPull:
+    def test_payload_flows_end_to_end(self, kernel, net):
+        got = []
+        PullSocket(net, Address("desktop", 5861), lambda p, m: got.append(p))
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 5861))
+        push.send({"frame": 1})
+        kernel.run()
+        assert got == [{"frame": 1}]
+        assert push.sent_count == 1
+
+    def test_send_with_no_peers_rejected(self, net):
+        push = PushSocket(net, Address("phone", 1000))
+        with pytest.raises(NetworkError):
+            push.send("x")
+
+    def test_round_robin_across_peers(self, kernel, net):
+        got_a, got_b = [], []
+        PullSocket(net, Address("desktop", 1), lambda p, m: got_a.append(p))
+        PullSocket(net, Address("tv", 2), lambda p, m: got_b.append(p))
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 1))
+        push.connect(Address("tv", 2))
+        for i in range(4):
+            push.send(i)
+        kernel.run()
+        assert got_a == [0, 2]
+        assert got_b == [1, 3]
+
+    def test_duplicate_connect_rejected(self, net):
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 1))
+        with pytest.raises(NetworkError):
+            push.connect(Address("desktop", 1))
+
+    def test_disconnect_removes_peer(self, kernel, net):
+        got = []
+        PullSocket(net, Address("desktop", 1), lambda p, m: got.append(p))
+        PullSocket(net, Address("tv", 2), lambda p, m: got.append(("tv", p)))
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 1))
+        push.connect(Address("tv", 2))
+        push.disconnect(Address("tv", 2))
+        push.send("only-desktop")
+        kernel.run()
+        assert got == ["only-desktop"]
+
+    def test_send_to_targets_specific_peer(self, kernel, net):
+        got = []
+        PullSocket(net, Address("tv", 2), lambda p, m: got.append(p))
+        push = PushSocket(net, Address("phone", 1000))
+        push.send_to(Address("tv", 2), "direct")
+        kernel.run()
+        assert got == ["direct"]
+
+    def test_pull_close_stops_delivery(self, kernel, net):
+        got = []
+        pull = PullSocket(net, Address("desktop", 1), lambda p, m: got.append(p))
+        pull.close()
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 1))
+        done = push.send("x")
+        kernel.run()
+        assert got == []
+        assert done.failed
+
+    def test_headers_travel_with_payload(self, kernel, net):
+        seen = []
+        PullSocket(net, Address("desktop", 1), lambda p, m: seen.append(m.headers))
+        push = PushSocket(net, Address("phone", 1000))
+        push.connect(Address("desktop", 1))
+        push.send("x", headers={"frame_id": 7})
+        kernel.run()
+        assert seen[0]["frame_id"] == 7
+
+
+class TestPubSub:
+    def test_topic_prefix_filtering(self, kernel, net):
+        lights, all_events = [], []
+        sub_lights = SubSocket(net, Address("tv", 1),
+                               lambda t, p, m: lights.append((t, p)),
+                               topics=("iot/light",))
+        sub_all = SubSocket(net, Address("desktop", 2),
+                            lambda t, p, m: all_events.append((t, p)), topics=("",))
+        pub = PubSocket(net, Address("phone", 1000))
+        pub.add_subscriber(sub_lights)
+        pub.add_subscriber(sub_all)
+        pub.publish("iot/light/livingroom", "toggle")
+        pub.publish("iot/doorbell", "ring")
+        kernel.run()
+        assert lights == [("iot/light/livingroom", "toggle")]
+        assert all_events == [
+            ("iot/light/livingroom", "toggle"),
+            ("iot/doorbell", "ring"),
+        ]
+
+    def test_publish_without_subscribers_is_noop(self, kernel, net):
+        pub = PubSocket(net, Address("phone", 1000))
+        assert pub.publish("topic", "x") == []
+        kernel.run()
+
+    def test_remove_subscriber(self, kernel, net):
+        got = []
+        sub = SubSocket(net, Address("tv", 1), lambda t, p, m: got.append(p))
+        pub = PubSocket(net, Address("phone", 1000))
+        pub.add_subscriber(sub)
+        pub.remove_subscriber(sub)
+        pub.publish("t", "x")
+        kernel.run()
+        assert got == []
+
+    def test_duplicate_add_subscriber_is_idempotent(self, kernel, net):
+        got = []
+        sub = SubSocket(net, Address("tv", 1), lambda t, p, m: got.append(p))
+        pub = PubSocket(net, Address("phone", 1000))
+        pub.add_subscriber(sub)
+        pub.add_subscriber(sub)
+        pub.publish("t", "x")
+        kernel.run()
+        assert got == ["x"]

@@ -1,0 +1,111 @@
+"""Unit tests for the brokerless transport."""
+
+import pytest
+
+from repro.errors import DeliveryError, NetworkError
+from repro.net import Address, BrokerlessTransport, LinkSpec, Message, Topology
+from repro.sim import Kernel, RngStreams
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def net(kernel):
+    topo = Topology(kernel, RngStreams(seed=1))
+    topo.add_wifi("wifi", LinkSpec(latency_s=0.002, jitter_cv=0.0, bandwidth_bps=100e6))
+    for device in ["phone", "desktop", "tv"]:
+        topo.attach(device, "wifi")
+    return BrokerlessTransport(kernel, topo)
+
+
+class TestBinding:
+    def test_bind_and_check(self, net):
+        addr = Address("desktop", 5861)
+        net.bind(addr, lambda m: None)
+        assert net.is_bound(addr)
+
+    def test_double_bind_rejected(self, net):
+        addr = Address("desktop", 5861)
+        net.bind(addr, lambda m: None)
+        with pytest.raises(NetworkError):
+            net.bind(addr, lambda m: None)
+
+    def test_bind_unknown_device_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.bind(Address("toaster", 1), lambda m: None)
+
+    def test_unbind_allows_rebind(self, net):
+        addr = Address("desktop", 5861)
+        net.bind(addr, lambda m: None)
+        net.unbind(addr)
+        assert not net.is_bound(addr)
+        net.bind(addr, lambda m: None)
+
+    def test_ephemeral_ports_unique_per_device(self, net):
+        ports = {net.ephemeral_port("phone") for _ in range(10)}
+        assert len(ports) == 10
+
+
+class TestSend:
+    def test_delivers_payload_and_stamps_times(self, kernel, net):
+        received = []
+        net.bind(Address("desktop", 5861), received.append)
+        msg = Message(kind="data", dst=Address("desktop", 5861),
+                      payload={"x": 1}, src=Address("phone", 1000))
+        done = net.send(msg)
+        kernel.run()
+        assert done.succeeded
+        assert len(received) == 1
+        assert received[0].payload == {"x": 1}
+        assert received[0].sent_at == 0.0
+        assert received[0].delivered_at > 0.0
+        assert received[0].latency > 0.0
+
+    def test_send_without_src_rejected(self, net):
+        msg = Message(kind="data", dst=Address("desktop", 5861))
+        with pytest.raises(NetworkError):
+            net.send(msg)
+
+    def test_send_to_unbound_address_fails_signal(self, kernel, net):
+        msg = Message(kind="data", dst=Address("desktop", 9999),
+                      src=Address("phone", 1000))
+        done = net.send(msg)
+        kernel.run()
+        assert done.failed
+        assert isinstance(done.exception, DeliveryError)
+        assert net.failed_count == 1
+
+    def test_larger_messages_take_longer(self, kernel, net):
+        times = {}
+        net.bind(Address("desktop", 1), lambda m: times.__setitem__("small", m.latency))
+        net.bind(Address("desktop", 2), lambda m: times.__setitem__("big", m.latency))
+        src = Address("phone", 1000)
+        small_frame = b"x" * 100
+        big_frame = b"x" * 400000
+        net.send(Message(kind="data", dst=Address("desktop", 1), payload=small_frame, src=src))
+        net.send(Message(kind="data", dst=Address("desktop", 2), payload=big_frame, src=src))
+        kernel.run()
+        assert times["big"] > times["small"]
+
+    def test_same_device_delivery_is_cheap(self, kernel, net):
+        latencies = []
+        net.bind(Address("phone", 1), lambda m: latencies.append(m.latency))
+        net.send(Message(kind="data", dst=Address("phone", 1),
+                         payload=b"x" * 1000, src=Address("phone", 1000)))
+        kernel.run()
+        assert latencies[0] < 0.001
+
+    def test_delivery_counter(self, kernel, net):
+        net.bind(Address("desktop", 1), lambda m: None)
+        for _ in range(3):
+            net.send(Message(kind="data", dst=Address("desktop", 1),
+                             src=Address("phone", 1000)))
+        kernel.run()
+        assert net.delivered_count == 3
+
+    def test_message_size_includes_payload_and_envelope(self):
+        msg = Message(kind="data", dst=Address("desktop", 1), payload=b"x" * 1000)
+        assert msg.size_bytes > 1000

@@ -1,0 +1,141 @@
+"""Unit and property tests for the binary wire codec and size model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.wire import (
+    ENVELOPE_OVERHEAD,
+    WireFormatError,
+    decode,
+    encode,
+    payload_size,
+)
+
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**40,
+    3.14159,
+    float("inf"),
+    "",
+    "hello",
+    "ünïcødé ☃",
+    b"",
+    b"\x00\xff raw",
+    [],
+    [1, "two", 3.0, None],
+    (1, 2),
+    {},
+    {"nested": {"list": [1, [2, [3]]]}, "flag": True},
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", SAMPLES, ids=repr)
+    def test_scalar_and_container_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_preserved_as_tuple(self):
+        assert decode(encode((1, 2))) == (1, 2)
+        assert isinstance(decode(encode((1, 2))), tuple)
+
+    @pytest.mark.parametrize("dtype", ["uint8", "int32", "float32", "float64"])
+    def test_ndarray_roundtrip(self, dtype):
+        array = (np.arange(24).reshape(2, 3, 4) % 7).astype(dtype)
+        result = decode(encode(array))
+        assert result.dtype == array.dtype
+        assert result.shape == array.shape
+        np.testing.assert_array_equal(result, array)
+
+    def test_zero_dim_array_roundtrip(self):
+        array = np.array(5.0)
+        result = decode(encode(array))
+        assert result.shape == ()
+        assert float(result) == 5.0
+
+    def test_numpy_scalars_become_python_scalars(self):
+        assert decode(encode(np.int64(7))) == 7
+        assert decode(encode(np.float32(0.5))) == pytest.approx(0.5)
+
+    def test_noncontiguous_array_roundtrip(self):
+        array = np.arange(20).reshape(4, 5)[:, ::2]
+        np.testing.assert_array_equal(decode(encode(array)), array)
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode(object())
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode({1: "x"})
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode(b"XX\x01\x00")
+
+    def test_truncated_data_rejected(self):
+        data = encode([1, 2, 3])
+        with pytest.raises(WireFormatError):
+            decode(data[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode(encode(1) + b"extra")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode(b"VP\x01\xfe")
+
+
+class TestSizeModel:
+    @pytest.mark.parametrize("value", SAMPLES, ids=repr)
+    def test_size_matches_actual_encoding(self, value):
+        if value == float("inf"):
+            pytest.skip("inf equality quirk irrelevant here")
+        expected = ENVELOPE_OVERHEAD + len(encode(value))
+        assert payload_size(value) == expected
+
+    def test_size_of_array_dominated_by_data(self):
+        frame = np.zeros((480, 640, 3), dtype=np.uint8)
+        size = payload_size(frame)
+        assert size > frame.nbytes
+        assert size < frame.nbytes + 200
+
+    def test_wire_size_hint_honored(self):
+        class Encoded:
+            wire_size = 45000
+
+        assert payload_size(Encoded()) == ENVELOPE_OVERHEAD + 3 + 45000
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**62), max_value=2**62)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(value=json_like)
+@settings(max_examples=150)
+def test_property_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+@given(value=json_like)
+@settings(max_examples=150)
+def test_property_size_model_is_exact(value):
+    assert payload_size(value) == ENVELOPE_OVERHEAD + len(encode(value))

@@ -1,0 +1,172 @@
+"""Unit tests for the cost-model scheduler (§7 future work)."""
+
+import pytest
+
+from repro.core import VideoPipe
+from repro.errors import PlacementError
+from repro.pipeline import (
+    ModuleConfig,
+    PipelineConfig,
+    PlacementModel,
+    plan_colocated,
+    plan_cost_optimized,
+)
+from repro.services import FunctionService
+
+
+def simple_config(services=None, pins=None):
+    services = services or {}
+    pins = pins or {}
+    return PipelineConfig(
+        name="sched",
+        modules=[
+            ModuleConfig(name="src", include="./src.js", next_modules=["work"],
+                         device=pins.get("src"),
+                         services=services.get("src", []),
+                         endpoint="bind#tcp://*:6300"),
+            ModuleConfig(name="work", include="./work.js", next_modules=["out"],
+                         device=pins.get("work"),
+                         services=services.get("work", []),
+                         endpoint="bind#tcp://*:6301"),
+            ModuleConfig(name="out", include="./out.js",
+                         device=pins.get("out"),
+                         services=services.get("out", []),
+                         endpoint="bind#tcp://*:6302"),
+        ],
+    )
+
+
+@pytest.fixture
+def home():
+    home = VideoPipe.paper_testbed(seed=0)
+    return home
+
+
+def deploy_pose_like(home, device, cost=0.050, port=7600):
+    home.deploy_service(
+        FunctionService("heavy", lambda p, c: p, reference_cost_s=cost,
+                        default_port=port),
+        device, native=True,
+    )
+
+
+class TestPlacementModel:
+    def test_module_cost_scales_with_device_speed(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]})
+        model = PlacementModel(config, home.devices, home.registry,
+                               home.topology)
+        fast = model.module_cost(config.module("work"), "desktop")
+        slow_caller = model.module_cost(config.module("work"), "phone")
+        # on the desktop the call is local; from the phone it pays the trip
+        assert fast < slow_caller
+
+    def test_transfer_cost_zero_on_device(self, home):
+        config = simple_config()
+        model = PlacementModel(config, home.devices, home.registry,
+                               home.topology)
+        assert model.transfer_cost("phone", "phone") < 0.001
+        assert model.transfer_cost("phone", "desktop") > 0.005
+
+    def test_evaluate_prefers_colocation(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone"})
+        model = PlacementModel(config, home.devices, home.registry,
+                               home.topology)
+        colocated = model.evaluate(
+            {"src": "phone", "work": "desktop", "out": "desktop"}
+        )
+        remote = model.evaluate(
+            {"src": "phone", "work": "phone", "out": "phone"}
+        )
+        assert colocated.total < remote.total
+
+    def test_unhosted_service_raises(self, home):
+        config = simple_config(services={"work": ["ghost"]})
+        model = PlacementModel(config, home.devices, home.registry,
+                               home.topology)
+        with pytest.raises(PlacementError):
+            model.evaluate({"src": "phone", "work": "phone", "out": "phone"})
+
+
+class TestPlanCostOptimized:
+    def test_matches_colocation_on_the_paper_testbed(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone"})
+        plan = plan_cost_optimized(config, home.devices, home.registry,
+                                   home.topology, default_device="phone")
+        assert plan.device_of("work") == "desktop"
+
+    def test_picks_faster_replica_where_heuristic_goes_alphabetical(self):
+        """'heavy' hosted on a slow laptop named 'athena' and a fast desktop
+        named 'zeus': the heuristic picks alphabetically; the cost model
+        picks the fast machine."""
+        from repro.devices import DeviceSpec
+
+        home = VideoPipe(seed=0)
+        home.add_device(DeviceSpec(name="athena", kind="laptop", cpu_factor=4.0,
+                                   cores=4, supports_containers=True))
+        home.add_device(DeviceSpec(name="zeus", kind="desktop", cpu_factor=1.0,
+                                   cores=8, supports_containers=True))
+        home.add_device(DeviceSpec(name="cam", kind="phone", cpu_factor=2.5,
+                                   cores=8))
+        for device in ("athena", "zeus"):
+            home.deploy_service(
+                FunctionService("heavy", lambda p, c: p,
+                                reference_cost_s=0.050, default_port=7600),
+                device,
+            )
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "cam"})
+        heuristic = plan_colocated(config, home.devices, home.registry, "cam")
+        optimized = plan_cost_optimized(config, home.devices, home.registry,
+                                        home.topology, default_device="cam")
+        assert heuristic.device_of("work") == "athena"  # alphabetical
+        assert optimized.device_of("work") == "zeus"  # 4x faster service
+
+    def test_respects_pins(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone", "out": "tv"})
+        plan = plan_cost_optimized(config, home.devices, home.registry,
+                                   home.topology, default_device="phone")
+        assert plan.device_of("src") == "phone"
+        assert plan.device_of("out") == "tv"
+
+    def test_never_worse_than_heuristic(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone"})
+        model = PlacementModel(config, home.devices, home.registry,
+                               home.topology)
+        heuristic = plan_colocated(config, home.devices, home.registry, "phone")
+        optimized = plan_cost_optimized(config, home.devices, home.registry,
+                                        home.topology, default_device="phone")
+        assert (model.evaluate(optimized.assignments).total
+                <= model.evaluate(heuristic.assignments).total + 1e-9)
+
+    def test_large_space_falls_back_to_local_search(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone"})
+        plan = plan_cost_optimized(config, home.devices, home.registry,
+                                   home.topology, default_device="phone",
+                                   max_combinations=1)
+        # the refined plan still lands the worker next to its service
+        assert plan.device_of("work") == "desktop"
+
+    def test_unknown_default_device_rejected(self, home):
+        with pytest.raises(PlacementError):
+            plan_cost_optimized(simple_config(), home.devices, home.registry,
+                                home.topology, default_device="toaster")
+
+    def test_facade_strategy(self, home):
+        deploy_pose_like(home, "desktop")
+        config = simple_config(services={"work": ["heavy"]},
+                               pins={"src": "phone"})
+        plan = home.plan(config, strategy="cost-optimized",
+                         default_device="phone")
+        assert plan.strategy in ("cost-optimized", "colocated")
+        assert plan.device_of("work") == "desktop"

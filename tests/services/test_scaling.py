@@ -1,0 +1,89 @@
+"""Unit tests for the autoscaler."""
+
+import pytest
+
+from repro.services import FunctionService, ServiceHost
+from repro.services.scaling import AutoScaler, ScalingPolicy
+
+
+def busy_host(home, cost=0.100, replicas=1):
+    service = FunctionService("busy", lambda p, c: p, reference_cost_s=cost)
+    return ServiceHost(home.kernel, home.desktop, service, home.transport,
+                       replicas=replicas)
+
+
+class TestScalingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalingPolicy(check_interval_s=0)
+        with pytest.raises(ValueError):
+            ScalingPolicy(window=0)
+        with pytest.raises(ValueError):
+            ScalingPolicy(max_replicas=0)
+        with pytest.raises(ValueError):
+            ScalingPolicy(step=0)
+
+
+class TestAutoScaler:
+    def test_scales_up_under_sustained_queue(self, home):
+        host = busy_host(home)
+        policy = ScalingPolicy(check_interval_s=0.1, queue_threshold=1.0,
+                               window=3, max_replicas=3)
+        scaler = AutoScaler(home.kernel, policy)
+        scaler.watch(host)
+        scaler.start()
+
+        def load():
+            # sustained offered load of ~20 req/s against 10 req/s capacity
+            while home.kernel.now < 3.0:
+                host.call_local({})
+                yield 0.05
+
+        home.kernel.process(load())
+        home.kernel.run(until=4.0)
+        scaler.stop()
+        home.kernel.run(until=4.2)
+        assert host.replicas > 1
+        assert scaler.events
+        event = scaler.events[0]
+        assert event.service == "busy"
+        assert event.to_replicas == event.from_replicas + 1
+        assert event.avg_queue >= 1.0
+
+    def test_respects_max_replicas(self, home):
+        host = busy_host(home)
+        policy = ScalingPolicy(check_interval_s=0.05, queue_threshold=0.5,
+                               window=2, max_replicas=2)
+        scaler = AutoScaler(home.kernel, policy)
+        scaler.watch(host)
+        scaler.start()
+
+        def load():
+            while home.kernel.now < 3.0:
+                host.call_local({})
+                yield 0.02
+
+        home.kernel.process(load())
+        home.kernel.run(until=3.5)
+        scaler.stop()
+        home.kernel.run(until=4.0)
+        assert host.replicas == 2
+
+    def test_idle_service_never_scales(self, home):
+        host = busy_host(home)
+        scaler = AutoScaler(home.kernel,
+                            ScalingPolicy(check_interval_s=0.1, window=2))
+        scaler.watch(host)
+        scaler.start()
+        home.kernel.run(until=2.0)
+        scaler.stop()
+        home.kernel.run(until=2.5)
+        assert host.replicas == 1
+        assert scaler.events == []
+
+    def test_start_is_idempotent(self, home):
+        scaler = AutoScaler(home.kernel)
+        scaler.start()
+        scaler.start()
+        scaler.stop()
+        home.kernel.run(until=1.0)

@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event kernel."""
+
+import time as wall_time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel, RealtimeKernel
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Kernel().schedule(-0.1, lambda: None)
+
+    def test_events_run_in_time_order(self):
+        k = Kernel()
+        seen = []
+        k.schedule(2.0, seen.append, "b")
+        k.schedule(1.0, seen.append, "a")
+        k.schedule(3.0, seen.append, "c")
+        k.run()
+        assert seen == ["a", "b", "c"]
+        assert k.now == 3.0
+
+    def test_same_time_events_run_in_insertion_order(self):
+        k = Kernel()
+        seen = []
+        for tag in "abc":
+            k.schedule(1.0, seen.append, tag)
+        k.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_cancel_prevents_execution(self):
+        k = Kernel()
+        seen = []
+        event = k.schedule(1.0, seen.append, "x")
+        k.cancel(event)
+        k.run()
+        assert seen == []
+
+    def test_run_until_stops_clock_at_limit(self):
+        k = Kernel()
+        seen = []
+        k.schedule(1.0, seen.append, "early")
+        k.schedule(10.0, seen.append, "late")
+        k.run(until=5.0)
+        assert seen == ["early"]
+        assert k.now == 5.0
+        k.run()
+        assert seen == ["early", "late"]
+
+    def test_run_without_events_returns_current_time(self):
+        k = Kernel()
+        assert k.run() == 0.0
+
+    def test_run_until_with_no_events_advances_clock(self):
+        k = Kernel()
+        k.run(until=7.0)
+        assert k.now == 7.0
+
+    def test_events_scheduled_during_run_execute(self):
+        k = Kernel()
+        seen = []
+
+        def outer():
+            seen.append("outer")
+            k.schedule(1.0, seen.append, "inner")
+
+        k.schedule(1.0, outer)
+        k.run()
+        assert seen == ["outer", "inner"]
+        assert k.now == 2.0
+
+    def test_stop_halts_run(self):
+        k = Kernel()
+        seen = []
+        k.schedule(1.0, lambda: (seen.append("a"), k.stop()))
+        k.schedule(2.0, seen.append, "b")
+        k.run()
+        assert seen == ["a"]
+        k.run()
+        assert seen == ["a", "b"]
+
+
+class TestTimeout:
+    def test_timeout_resolves_with_value(self):
+        k = Kernel()
+        sig = k.timeout(1.5, "payload")
+        assert sig.pending
+        k.run()
+        assert sig.value == "payload"
+        assert k.now == 1.5
+
+    def test_zero_timeout_resolves_at_current_time(self):
+        k = Kernel()
+        sig = k.timeout(0.0)
+        k.run()
+        assert sig.succeeded
+        assert k.now == 0.0
+
+
+class TestRunUntilResolved:
+    def test_returns_signal_value(self):
+        k = Kernel()
+        sig = k.timeout(2.0, "done")
+        assert k.run_until_resolved(sig) == "done"
+        assert k.now == 2.0
+
+    def test_does_not_run_past_resolution_unnecessarily(self):
+        k = Kernel()
+        sig = k.timeout(1.0)
+        k.timeout(100.0)
+        k.run_until_resolved(sig)
+        assert k.now == 1.0
+
+    def test_raises_when_queue_drains_first(self):
+        k = Kernel()
+        sig = k.signal()
+        with pytest.raises(SimulationError, match="drained"):
+            k.run_until_resolved(sig)
+
+    def test_raises_at_time_limit(self):
+        k = Kernel()
+        sig = k.timeout(10.0)
+        with pytest.raises(SimulationError, match="time limit"):
+            k.run_until_resolved(sig, limit=1.0)
+
+
+class TestRealtimeKernel:
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(SimulationError):
+            RealtimeKernel(speed=0)
+
+    def test_paces_against_wall_clock(self):
+        k = RealtimeKernel(speed=50.0)  # 50x fast: 0.5 sim-sec ~ 10 wall-ms
+        seen = []
+        k.schedule(0.5, seen.append, "x")
+        start = wall_time.monotonic()
+        k.run()
+        elapsed = wall_time.monotonic() - start
+        assert seen == ["x"]
+        assert elapsed >= 0.008
+
+    def test_flag_distinguishes_modes(self):
+        assert RealtimeKernel().realtime
+        assert not Kernel().realtime

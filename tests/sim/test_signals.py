@@ -1,0 +1,166 @@
+"""Unit tests for one-shot signals and composite waits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel, all_of, any_of
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestSignalLifecycle:
+    def test_initial_state(self, kernel):
+        sig = kernel.signal("s")
+        assert sig.pending and not sig.resolved
+        assert not sig.succeeded and not sig.failed
+
+    def test_value_of_pending_signal_raises(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.signal().value
+
+    def test_succeed_stores_value(self, kernel):
+        sig = kernel.signal().succeed(7)
+        assert sig.succeeded
+        assert sig.value == 7
+
+    def test_fail_stores_exception(self, kernel):
+        err = ValueError("boom")
+        sig = kernel.signal().fail(err)
+        assert sig.failed
+        assert sig.exception is err
+        with pytest.raises(ValueError):
+            sig.value
+
+    def test_double_resolution_rejected(self, kernel):
+        sig = kernel.signal().succeed(1)
+        with pytest.raises(SimulationError):
+            sig.succeed(2)
+        with pytest.raises(SimulationError):
+            sig.fail(ValueError())
+
+    def test_fail_requires_exception_instance(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.signal().fail("not an exception")
+
+
+class TestWaiters:
+    def test_waiter_fires_on_success(self, kernel):
+        sig = kernel.signal()
+        seen = []
+        sig.wait(lambda v, e: seen.append((v, e)))
+        sig.succeed("x")
+        kernel.run()
+        assert seen == [("x", None)]
+
+    def test_waiter_attached_after_resolution_still_fires(self, kernel):
+        sig = kernel.signal().succeed("x")
+        seen = []
+        sig.wait(lambda v, e: seen.append(v))
+        kernel.run()
+        assert seen == ["x"]
+
+    def test_waiters_never_fire_synchronously(self, kernel):
+        sig = kernel.signal()
+        seen = []
+        sig.wait(lambda v, e: seen.append(v))
+        sig.succeed("x")
+        assert seen == []  # not yet: fires on next kernel step
+        kernel.run()
+        assert seen == ["x"]
+
+    def test_discard_removes_waiter(self, kernel):
+        sig = kernel.signal()
+        seen = []
+
+        def waiter(v, e):
+            seen.append(v)
+
+        sig.wait(waiter)
+        sig.discard(waiter)
+        sig.succeed(1)
+        kernel.run()
+        assert seen == []
+
+    def test_multiple_waiters_all_fire_in_order(self, kernel):
+        sig = kernel.signal()
+        seen = []
+        sig.wait(lambda v, e: seen.append("first"))
+        sig.wait(lambda v, e: seen.append("second"))
+        sig.succeed(None)
+        kernel.run()
+        assert seen == ["first", "second"]
+
+
+class TestAllOf:
+    def test_collects_all_values_in_order(self, kernel):
+        sigs = [kernel.signal() for _ in range(3)]
+        combined = all_of(kernel, sigs)
+        sigs[2].succeed("c")
+        sigs[0].succeed("a")
+        sigs[1].succeed("b")
+        kernel.run()
+        assert combined.value == ["a", "b", "c"]
+
+    def test_empty_input_succeeds_immediately(self, kernel):
+        assert all_of(kernel, []).value == []
+
+    def test_first_failure_propagates(self, kernel):
+        sigs = [kernel.signal() for _ in range(2)]
+        combined = all_of(kernel, sigs)
+        sigs[0].fail(RuntimeError("x"))
+        kernel.run()
+        assert combined.failed
+
+    def test_late_failure_after_resolution_is_ignored(self, kernel):
+        sigs = [kernel.signal() for _ in range(2)]
+        combined = all_of(kernel, sigs)
+        sigs[0].succeed(1)
+        sigs[1].fail(RuntimeError("x"))
+        kernel.run()
+        assert combined.failed  # failure won because both resolved pre-run
+
+
+class TestAnyOf:
+    def test_first_resolution_wins_with_index(self, kernel):
+        sigs = [kernel.signal() for _ in range(3)]
+        combined = any_of(kernel, sigs)
+        kernel.schedule(1.0, sigs[1].succeed, "winner")
+        kernel.schedule(2.0, sigs[0].succeed, "loser")
+        kernel.run()
+        assert combined.value == (1, "winner")
+
+    def test_empty_input_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            any_of(kernel, [])
+
+    def test_failure_propagates_if_first(self, kernel):
+        sigs = [kernel.signal() for _ in range(2)]
+        combined = any_of(kernel, sigs)
+        sigs[0].fail(RuntimeError("x"))
+        kernel.run()
+        assert combined.failed
+
+
+class TestCancelTimer:
+    def test_abandoned_timeout_does_not_hold_the_clock(self, kernel):
+        sig = kernel.timeout(100.0)
+        sig.cancel_timer()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        assert kernel.now == 1.0
+        assert sig.pending  # cancelled, never fires
+
+    def test_cancel_timer_on_plain_signal_is_noop(self, kernel):
+        sig = kernel.signal()
+        sig.cancel_timer()  # no timer attached: must not raise
+        sig.succeed(1)
+        assert sig.value == 1
+
+    def test_cancel_after_resolution_is_noop(self, kernel):
+        sig = kernel.timeout(0.5)
+        kernel.run()
+        assert sig.succeeded
+        sig.cancel_timer()  # must not raise

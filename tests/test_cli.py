@@ -1,0 +1,53 @@
+"""Tests for the command-line interface and the public package surface."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_star_import_matches_all(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        for name in repro.__all__:
+            assert name in namespace
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "device catalog" in out
+        assert "phone" in out and "desktop" in out and "tv" in out
+        assert "./PoseDetectorModule.js" in out
+
+    def test_demo_quick(self, capsys):
+        assert main(["demo", "--duration", "6", "--fps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end:" in out
+        assert "pose_detection" in out
+        assert "reps=" in out
+
+    def test_fig6_quick(self, capsys):
+        assert main(["fig6", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "total_duration" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Source FPS" in out

@@ -1,0 +1,48 @@
+"""The README's code examples must keep working — users copy them."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_structure(self):
+        text = README.read_text()
+        for heading in ("## Install", "## Quickstart", "## Tests and benchmarks",
+                        "## Architecture"):
+            assert heading in text
+
+    def test_quickstart_snippet_executes(self, capsys):
+        blocks = python_blocks(README.read_text())
+        assert blocks, "README lost its quickstart snippet"
+        exec(compile(blocks[0], "<README quickstart>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "fps" in out
+
+    def test_headline_table_matches_experiments_doc(self):
+        """README's headline table and EXPERIMENTS.md E2 must agree."""
+        readme = README.read_text()
+        experiments = (README.parent / "EXPERIMENTS.md").read_text()
+        for row in ("| 20 | 11.00 |", "| 60 | 11.03 |"):
+            assert row in readme
+            assert row in experiments
+
+
+class TestApiDocs:
+    def test_api_reference_is_current(self):
+        """docs/API.md must match the live __all__ exports — regenerate with
+        tools/gen_api_docs.py after changing a package's public surface."""
+        import importlib
+
+        doc = (README.parent / "docs" / "API.md").read_text()
+        for package in ("repro", "repro.sim", "repro.services",
+                        "repro.pipeline", "repro.monitor", "repro.apps"):
+            module = importlib.import_module(package)
+            assert f"## `{package}`" in doc
+            for name in getattr(module, "__all__", []):
+                assert f"| `{name}` |" in doc, (package, name)

@@ -1,0 +1,110 @@
+"""Unit and property tests for k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision import KMeans
+
+
+def two_blobs(n=30, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(0.0, 0.5, (n, 2)),
+        rng.normal(separation, 0.5, (n, 2)),
+    ])
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+
+    def test_needs_at_least_k_points(self):
+        with pytest.raises(ValueError):
+            KMeans(k=3).fit(np.zeros((2, 2)))
+
+    def test_data_must_be_2d(self):
+        with pytest.raises(ValueError):
+            KMeans(k=1).fit(np.zeros(5))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans().predict(np.zeros(2))
+
+
+class TestClustering:
+    def test_separates_two_blobs(self):
+        data = two_blobs()
+        km = KMeans(k=2, seed=1).fit(data)
+        labels = km.predict(data)
+        first_half = set(labels[:30].tolist())
+        second_half = set(labels[30:].tolist())
+        assert len(first_half) == 1
+        assert len(second_half) == 1
+        assert first_half != second_half
+
+    def test_centroids_near_blob_means(self):
+        data = two_blobs(separation=8.0)
+        km = KMeans(k=2, seed=1).fit(data)
+        centroid_norms = sorted(np.linalg.norm(km.centroids, axis=1))
+        assert centroid_norms[0] < 1.0  # near origin blob
+        assert abs(centroid_norms[1] - 8.0 * np.sqrt(2)) < 1.0
+
+    def test_deterministic_for_same_seed(self):
+        data = two_blobs()
+        a = KMeans(k=2, seed=7).fit(data).centroids
+        b = KMeans(k=2, seed=7).fit(data).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_k1_centroid_is_mean(self):
+        data = two_blobs()
+        km = KMeans(k=1, seed=0).fit(data)
+        np.testing.assert_allclose(km.centroids[0], data.mean(axis=0), atol=1e-9)
+
+    def test_identical_points_handled(self):
+        data = np.ones((10, 2))
+        km = KMeans(k=2, seed=0).fit(data)
+        assert np.isfinite(km.centroids).all()
+        assert km.inertia == pytest.approx(0.0)
+
+    def test_single_point_prediction(self):
+        data = two_blobs()
+        km = KMeans(k=2, seed=0).fit(data)
+        label = km.predict(np.array([0.0, 0.0]))
+        assert label in (0, 1)
+        assert np.isscalar(label) or label.ndim == 0
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = two_blobs()
+        one = KMeans(k=1, seed=0).fit(data).inertia
+        two = KMeans(k=2, seed=0).fit(data).inertia
+        assert two < one
+
+    def test_converges_and_reports_iterations(self):
+        km = KMeans(k=2, seed=0, max_iter=100).fit(two_blobs())
+        assert 1 <= km.iterations_run < 100
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=30)
+def test_property_every_point_nearest_to_its_centroid(seed):
+    """The fitted assignment is locally optimal: each point's assigned
+    centroid is its nearest centroid."""
+    data = two_blobs(n=15, seed=seed)
+    km = KMeans(k=2, seed=seed).fit(data)
+    labels = km.predict(data)
+    dists = np.linalg.norm(data[:, None, :] - km.centroids[None], axis=2)
+    np.testing.assert_array_equal(labels, dists.argmin(axis=1))
+
+
+@given(seed=st.integers(0, 500), k=st.integers(1, 4))
+@settings(max_examples=30)
+def test_property_centroids_inside_data_hull_bounds(seed, k):
+    """Centroids are means, so they stay within the data's bounding box."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 5, (25, 3))
+    km = KMeans(k=k, seed=seed).fit(data)
+    assert (km.centroids >= data.min(axis=0) - 1e-9).all()
+    assert (km.centroids <= data.max(axis=0) + 1e-9).all()
