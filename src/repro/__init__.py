@@ -39,6 +39,7 @@ from .errors import (
     ConfigError,
     DeploymentError,
     DeviceError,
+    FaultError,
     FrameStoreError,
     NetworkError,
     PlacementError,
@@ -46,6 +47,7 @@ from .errors import (
     ServiceError,
     SimulationError,
 )
+from .faults import ChaosInjector, FaultEvent, FaultPlan
 from .pipeline import (
     ModuleConfig,
     Pipeline,
@@ -59,9 +61,13 @@ from .services import Service, ServiceCallContext
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosInjector",
     "ConfigError",
     "DeploymentError",
     "DeviceError",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
     "FrameStoreError",
     "Module",
     "ModuleConfig",

@@ -21,7 +21,18 @@ from ..devices.catalog import make_spec
 from ..devices.device import Device
 from ..devices.spec import DeviceSpec
 from ..errors import ConfigError, DeviceError
+from ..faults.injector import ChaosInjector
+from ..faults.plan import FaultPlan
+from ..monitor.failure_detector import (
+    FailureDetector,
+    HeartbeatResponder,
+    failure_probe,
+)
 from ..monitor.monitor import Monitor
+from ..monitor.orchestrator import (
+    Orchestrator,
+    evacuate_dead_device_remedy,
+)
 from ..monitor.probes import device_probe, pipeline_probe, service_probe
 from ..net.broker import BrokeredTransport
 from ..net.link import WIFI_HOME, LinkSpec
@@ -72,6 +83,10 @@ class VideoPipe:
         self.deployer: Deployer | None = None
         self.autoscaler: AutoScaler | None = None
         self.monitor: Monitor | None = None
+        self.detector: FailureDetector | None = None
+        self.orchestrator: Orchestrator | None = None
+        self.injector: ChaosInjector | None = None
+        self._responders: dict[str, HeartbeatResponder] = {}
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -101,6 +116,10 @@ class VideoPipe:
         ModuleRuntime(self.kernel, device, self._get_transport())
         if self.monitor is not None:
             self.monitor.add_probe(f"device/{spec.name}", device_probe(device))
+        if self.detector is not None:
+            self._install_heartbeat(device)
+            if spec.name != self.detector.home_device:
+                self.detector.watch(spec.name)
         return device
 
     def device(self, name: str) -> Device:
@@ -175,6 +194,8 @@ class VideoPipe:
                         f"service/{service_name}@{host.device.name}",
                         service_probe(host),
                     )
+            if self.detector is not None:
+                self.monitor.add_probe("failures", failure_probe(self.detector))
             self.monitor.start()
         return self.monitor
 
@@ -188,6 +209,90 @@ class VideoPipe:
                     self.autoscaler.watch(host)
             self.autoscaler.start()
         return self.autoscaler
+
+    # -- faults & recovery --------------------------------------------------------
+    def crash_device(self, name: str) -> None:
+        """Hard-fail a device: power off its hosts, drop queued work, and
+        make the network refuse traffic to and from it."""
+        self.device(name).crash()
+        self.topology.set_device_up(name, False)
+
+    def restart_device(self, name: str) -> None:
+        """Bring a crashed device back: network first, then its hosts."""
+        device = self.device(name)
+        self.topology.set_device_up(name, True)
+        device.restart()
+
+    def _install_heartbeat(self, device: Device) -> None:
+        if device.spec.name not in self._responders:
+            self._responders[device.spec.name] = HeartbeatResponder(
+                self.kernel, self._get_transport(), device.spec.name
+            )
+
+    def enable_failure_detection(
+        self,
+        home_device: str | None = None,
+        period_s: float = 0.5,
+        timeout_s: float | None = None,
+        miss_threshold: int = 3,
+    ) -> FailureDetector:
+        """Turn on heartbeat-based failure detection from *home_device*
+        (default: the first device). Every current and future device gets a
+        heartbeat responder and is watched."""
+        if self.detector is None:
+            if not self.devices:
+                raise ConfigError("add devices before enabling detection")
+            home = home_device or next(iter(self.devices))
+            if home not in self.devices:
+                raise DeviceError(f"unknown device {home!r}")
+            self.detector = FailureDetector(
+                self.kernel,
+                self._get_transport(),
+                home,
+                period_s=period_s,
+                timeout_s=timeout_s,
+                miss_threshold=miss_threshold,
+            )
+            for device in self.devices.values():
+                self._install_heartbeat(device)
+                if device.spec.name != home:
+                    self.detector.watch(device.spec.name)
+            self.detector.start()
+            if self.monitor is not None:
+                self.monitor.add_probe("failures", failure_probe(self.detector))
+        return self.detector
+
+    def enable_fault_injection(self, plan: FaultPlan) -> ChaosInjector:
+        """Arm a fault plan against this home (one injector per home)."""
+        if self.injector is not None:
+            raise ConfigError("fault injection already enabled")
+        self.injector = ChaosInjector(self, plan)
+        self.injector.arm()
+        return self.injector
+
+    def enable_orchestration(self, period_s: float = 1.0) -> Orchestrator:
+        """Turn on the remediation loop (creates the monitor if needed)."""
+        if self.orchestrator is None:
+            monitor = self.enable_monitoring()
+            self.orchestrator = Orchestrator(
+                self.kernel, monitor, period_s=period_s
+            )
+            self.orchestrator.start()
+        return self.orchestrator
+
+    def enable_self_healing(
+        self, pipeline: Pipeline, cooldown_s: float = 1.0
+    ) -> Orchestrator:
+        """Close the §7 loop for *pipeline*: failure detection + a remedy
+        that evacuates its modules off any device declared dead."""
+        detector = self.enable_failure_detection()
+        orchestrator = self.enable_orchestration()
+        orchestrator.add_remedy(
+            evacuate_dead_device_remedy(
+                self, pipeline, detector, cooldown_s=cooldown_s
+            )
+        )
+        return orchestrator
 
     # -- pipelines ------------------------------------------------------------------
     def plan(

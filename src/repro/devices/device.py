@@ -40,10 +40,38 @@ class Device:
         #: Filled by the deployer.
         self.runtime: "ModuleRuntime | None" = None
         self.service_hosts: dict[str, "ServiceHost"] = {}
+        #: Power state; flipped by :meth:`crash` / :meth:`restart`.
+        self.up = True
+        self.crash_count = 0
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    # -- failure lifecycle -----------------------------------------------------
+    def crash(self) -> None:
+        """Power loss: every hosted service drops its in-flight work and
+        unbinds its endpoint; queued module events are lost with RAM.
+        Idempotent. The network side (refusing deliveries) is handled by
+        :meth:`Topology.set_device_up`, which callers flip alongside this —
+        see :meth:`repro.core.videopipe.VideoPipe.crash_device`."""
+        if not self.up:
+            return
+        self.up = False
+        self.crash_count += 1
+        for host in self.service_hosts.values():
+            host.crash()
+        if self.runtime is not None:
+            self.runtime.drop_queued_events()
+
+    def restart(self) -> None:
+        """Power restored: service hosts rebind and accept work again.
+        Idempotent."""
+        if self.up:
+            return
+        self.up = True
+        for host in self.service_hosts.values():
+            host.restart()
 
     @property
     def supports_containers(self) -> bool:

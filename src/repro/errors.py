@@ -54,6 +54,19 @@ class RpcError(NetworkError):
         self.remote = remote
 
 
+class CircuitOpenError(RpcError):
+    """Raised (fast, without touching the network) when the per-target
+    circuit breaker is open because the target kept failing."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, remote=False)
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault plans (unknown fault kind, bad target,
+    events scheduled in the past)."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid pipeline configuration (bad DAG, unknown service,
     unparsable config text)."""

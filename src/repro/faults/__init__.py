@@ -1,0 +1,41 @@
+"""Fault injection: declarative failure timelines for the simulated home.
+
+The paper's edge setting (§2, §7) is a network of flaky consumer devices.
+This package makes that flakiness a first-class, *deterministic* input:
+
+* :class:`FaultPlan` — a declarative timeline of fault events (device
+  crash/restart, link partition/heal, flapping, service-replica crash,
+  transient latency spikes), built fluently and serializable to/from dicts.
+* :class:`ChaosInjector` — schedules a plan's events on the simulation
+  kernel against a :class:`~repro.core.videopipe.VideoPipe` home and records
+  the exact trace of what fired when.
+
+Same plan + same seed ⇒ identical event trace and identical simulation,
+which is what lets chaos scenarios live in the regression suite.
+"""
+
+from .injector import ChaosInjector
+from .plan import (
+    DEVICE_CRASH,
+    DEVICE_RESTART,
+    LATENCY_SPIKE,
+    LINK_HEAL,
+    LINK_PARTITION,
+    SERVICE_CRASH,
+    SERVICE_RESTART,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "DEVICE_CRASH",
+    "DEVICE_RESTART",
+    "FaultEvent",
+    "FaultPlan",
+    "LATENCY_SPIKE",
+    "LINK_HEAL",
+    "LINK_PARTITION",
+    "SERVICE_CRASH",
+    "SERVICE_RESTART",
+]

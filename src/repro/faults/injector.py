@@ -1,0 +1,103 @@
+"""The chaos injector: schedules a :class:`FaultPlan` on the sim kernel.
+
+The injector is armed against a :class:`~repro.core.videopipe.VideoPipe`
+home (any object with ``kernel``, ``topology``, ``devices`` and the
+``crash_device``/``restart_device`` pair works). Each plan event becomes one
+kernel event; when it fires, the injector applies the fault and appends
+``(time, kind, target)`` to :attr:`trace` — the record the determinism test
+compares across runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import FaultError
+from .plan import (
+    DEVICE_CRASH,
+    DEVICE_RESTART,
+    LATENCY_SPIKE,
+    LINK_HEAL,
+    LINK_PARTITION,
+    SERVICE_CRASH,
+    SERVICE_RESTART,
+    FaultEvent,
+    FaultPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.videopipe import VideoPipe
+
+
+class ChaosInjector:
+    """Applies a fault plan to a home, deterministically."""
+
+    def __init__(self, home: "VideoPipe", plan: FaultPlan) -> None:
+        self.home = home
+        self.kernel = home.kernel
+        self.plan = plan
+        self.armed = False
+        #: (sim_time, kind, target) per fault actually applied — the
+        #: deterministic event trace.
+        self.trace: list[tuple[float, str, str]] = []
+        self.faults_injected = 0
+
+    # -- control ---------------------------------------------------------------
+    def arm(self) -> None:
+        """Validate targets and schedule every plan event. Call once, before
+        (or during — events in the past raise) the run."""
+        if self.armed:
+            raise FaultError("injector already armed")
+        self.armed = True
+        now = self.kernel.now
+        for event in self.plan.events():
+            self._validate(event)
+            if event.at < now:
+                raise FaultError(
+                    f"fault at t={event.at} is in the past (now={now})"
+                )
+            self.kernel.schedule(event.at - now, self._fire, event)
+
+    def _validate(self, event: FaultEvent) -> None:
+        if event.kind in (SERVICE_CRASH, SERVICE_RESTART):
+            service, _, device = event.target.partition("@")
+            dev = self.home.devices.get(device)
+            if dev is None:
+                raise FaultError(f"unknown device {device!r} in {event.target!r}")
+            if service not in dev.service_hosts:
+                raise FaultError(
+                    f"device {device!r} hosts no service {service!r}"
+                )
+        else:
+            if event.target not in self.home.devices:
+                raise FaultError(f"unknown device {event.target!r}")
+
+    # -- firing ----------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        if event.kind == DEVICE_CRASH:
+            self.home.crash_device(event.target)
+        elif event.kind == DEVICE_RESTART:
+            self.home.restart_device(event.target)
+        elif event.kind == LINK_PARTITION:
+            self.home.topology.partition(event.target)
+        elif event.kind == LINK_HEAL:
+            self.home.topology.heal(event.target)
+        elif event.kind in (SERVICE_CRASH, SERVICE_RESTART):
+            service, _, device = event.target.partition("@")
+            host = self.home.devices[device].service_hosts[service]
+            if event.kind == SERVICE_CRASH:
+                host.crash()
+            else:
+                host.restart()
+        elif event.kind == LATENCY_SPIKE:
+            delta = float(event.params["extra_latency_s"])
+            for link in self.home.topology.incident_links(event.target):
+                link.extra_latency_s = max(0.0, link.extra_latency_s + delta)
+        else:  # pragma: no cover - plan validation forbids this
+            raise FaultError(f"unknown fault kind {event.kind!r}")
+        self.faults_injected += 1
+        self.trace.append((self.kernel.now, event.kind, event.target))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "armed" if self.armed else "idle"
+        return f"<ChaosInjector {state}, {self.faults_injected} fired>"

@@ -1,12 +1,14 @@
 """Instrumentation: latency summaries, rate meters, collectors, reports."""
 
 from .collector import MetricsCollector
+from .recovery import RecoveryTracker
 from .report import format_comparison, format_table
 from .stats import RateMeter, Summary, summarize
 
 __all__ = [
     "MetricsCollector",
     "RateMeter",
+    "RecoveryTracker",
     "Summary",
     "format_comparison",
     "format_table",

@@ -1,10 +1,18 @@
 """Monitoring (§7 future work): probes, time series, alarms."""
 
+from .failure_detector import (
+    HEARTBEAT_PORT,
+    DetectionEvent,
+    FailureDetector,
+    HeartbeatResponder,
+    failure_probe,
+)
 from .monitor import Alarm, AlarmRule, Monitor
 from .orchestrator import (
     Action,
     Orchestrator,
     Remedy,
+    evacuate_dead_device_remedy,
     migrate_module_remedy,
     scale_service_remedy,
 )
@@ -14,11 +22,17 @@ __all__ = [
     "Action",
     "Alarm",
     "AlarmRule",
+    "DetectionEvent",
+    "FailureDetector",
+    "HEARTBEAT_PORT",
+    "HeartbeatResponder",
     "Monitor",
     "Orchestrator",
     "Remedy",
     "Sample",
     "device_probe",
+    "evacuate_dead_device_remedy",
+    "failure_probe",
     "migrate_module_remedy",
     "pipeline_probe",
     "scale_service_remedy",

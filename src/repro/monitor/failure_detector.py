@@ -1,0 +1,209 @@
+"""Heartbeat-based failure detection (§7: "monitoring of the pipelines").
+
+Every device runs a tiny :class:`HeartbeatResponder` (a native RPC
+endpoint). The :class:`FailureDetector` — typically on the home's most
+reliable device — pings each watched device on a fixed period; after
+``miss_threshold`` consecutive misses the device is declared **dead**,
+``on_down`` hooks fire (the orchestrator's evacuation remedy hangs off
+this), and when heartbeats come back the device is declared recovered and
+an MTTR sample is recorded (first miss → recovery, the detector's honest
+view of the outage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..net.address import Address
+from ..net.rpc import RpcClient, RpcServer
+from ..net.transport import Transport
+from ..sim.kernel import Kernel
+from .probes import ProbeFn
+
+#: Well-known port for the heartbeat endpoint on every device.
+HEARTBEAT_PORT = 190
+
+
+class HeartbeatResponder:
+    """The per-device heartbeat endpoint: answers pings while the device is
+    up (a down device simply never sees the request — the transport refuses
+    delivery)."""
+
+    def __init__(self, kernel: Kernel, transport: Transport, device: str) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.address = Address(device, HEARTBEAT_PORT)
+        self.pings_answered = 0
+        self._rpc = RpcServer(kernel, transport, self.address, self._on_ping)
+
+    def _on_ping(self, payload: object, message: object) -> dict:
+        self.pings_answered += 1
+        return {"device": self.device, "t": self.kernel.now}
+
+    def close(self) -> None:
+        self._rpc.close()
+
+
+@dataclass(slots=True)
+class _WatchState:
+    misses: int = 0
+    dead: bool = False
+    first_miss_at: float | None = None
+    detected_at: float | None = None
+    outages: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionEvent:
+    """One detector state transition, for the deterministic event log."""
+
+    at: float
+    device: str
+    kind: str  # "down" | "up"
+    mttr_s: float | None = None
+
+
+class FailureDetector:
+    """Timeout-based failure detector over heartbeat probes."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        transport: Transport,
+        home_device: str,
+        period_s: float = 0.5,
+        timeout_s: float | None = None,
+        miss_threshold: int = 3,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.kernel = kernel
+        self.home_device = home_device
+        self.period_s = period_s
+        #: Per-probe timeout; defaults to one period so a hung probe can't
+        #: overlap more than one round.
+        self.timeout_s = timeout_s if timeout_s is not None else period_s
+        self.miss_threshold = miss_threshold
+        # probes must not themselves retry or trip breakers: the detector IS
+        # the component that interprets failures
+        self._client = RpcClient(
+            kernel, transport, home_device,
+            default_timeout_s=self.timeout_s, retry=None, breaker=None,
+        )
+        self._watched: dict[str, _WatchState] = {}
+        self._running = False
+        #: Hooks fired on transitions: callbacks receive the device name.
+        self.on_down: list[Callable[[str], None]] = []
+        self.on_up: list[Callable[[str], None]] = []
+        #: Deterministic transition log.
+        self.events: list[DetectionEvent] = []
+        #: Outage durations (first missed heartbeat → recovery), seconds.
+        self.mttr_samples: list[float] = []
+        # statistics
+        self.probes_sent = 0
+        self.probes_failed = 0
+        self.detections = 0
+        self.recoveries = 0
+
+    # -- registration -----------------------------------------------------------
+    def watch(self, device: str) -> None:
+        """Start monitoring *device* (idempotent)."""
+        if device != self.home_device:
+            self._watched.setdefault(device, _WatchState())
+
+    def watched(self) -> list[str]:
+        return sorted(self._watched)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.process(self._loop(), name="failure-detector")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            for device in sorted(self._watched):
+                self._probe(device)
+            yield self.period_s
+
+    # -- probing -----------------------------------------------------------------
+    def _probe(self, device: str) -> None:
+        self.probes_sent += 1
+        result = self._client.call(
+            Address(device, HEARTBEAT_PORT), {"t": self.kernel.now}
+        )
+        result.wait(lambda _v, exc: self._on_probe(device, exc))
+
+    def _on_probe(self, device: str, exc: BaseException | None) -> None:
+        state = self._watched.get(device)
+        if state is None:
+            return
+        if exc is None:
+            if state.dead:
+                state.dead = False
+                self.recoveries += 1
+                mttr = (self.kernel.now - state.first_miss_at
+                        if state.first_miss_at is not None else 0.0)
+                self.mttr_samples.append(mttr)
+                self.events.append(DetectionEvent(
+                    self.kernel.now, device, "up", mttr_s=mttr,
+                ))
+                for hook in self.on_up:
+                    hook(device)
+            state.misses = 0
+            state.first_miss_at = None
+            return
+        self.probes_failed += 1
+        if state.misses == 0:
+            state.first_miss_at = self.kernel.now
+        state.misses += 1
+        if not state.dead and state.misses >= self.miss_threshold:
+            state.dead = True
+            state.detected_at = self.kernel.now
+            state.outages += 1
+            self.detections += 1
+            self.events.append(DetectionEvent(self.kernel.now, device, "down"))
+            for hook in self.on_down:
+                hook(device)
+
+    # -- queries -----------------------------------------------------------------
+    def is_dead(self, device: str) -> bool:
+        state = self._watched.get(device)
+        return state.dead if state is not None else False
+
+    def dead_devices(self) -> list[str]:
+        return sorted(d for d, s in self._watched.items() if s.dead)
+
+    def mttr_mean(self) -> float:
+        if not self.mttr_samples:
+            return 0.0
+        return sum(self.mttr_samples) / len(self.mttr_samples)
+
+    def mttr_max(self) -> float:
+        return max(self.mttr_samples, default=0.0)
+
+
+def failure_probe(detector: FailureDetector) -> ProbeFn:
+    """A monitor probe surfacing the detector's state as metrics, so MTTR
+    and outage counts land in the monitor's time series like any other
+    signal."""
+
+    def probe() -> dict[str, float]:
+        return {
+            "watched": float(len(detector.watched())),
+            "dead_devices": float(len(detector.dead_devices())),
+            "detections": float(detector.detections),
+            "recoveries": float(detector.recoveries),
+            "probes_failed": float(detector.probes_failed),
+            "mttr_mean_s": detector.mttr_mean(),
+            "mttr_max_s": detector.mttr_max(),
+        }
+
+    return probe

@@ -17,6 +17,7 @@ from .monitor import Monitor
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline.pipeline import Pipeline
+    from .failure_detector import FailureDetector
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +65,9 @@ class Orchestrator:
         self.period_s = period_s
         self._remedies: list[Remedy] = []
         self.actions: list[Action] = []
+        #: (time, remedy name, exception) for actions that raised; a broken
+        #: remedy must not kill the control loop.
+        self.action_failures: list[tuple[float, str, Exception]] = []
         self._running = False
 
     def add_remedy(self, remedy: Remedy) -> None:
@@ -93,8 +97,12 @@ class Orchestrator:
             description = remedy.due(self.monitor, now)
             if description is None:
                 continue
-            remedy.action()
-            remedy._last_fired = now
+            remedy._last_fired = now  # cooldown applies even to failures
+            try:
+                remedy.action()
+            except Exception as exc:
+                self.action_failures.append((now, remedy.name, exc))
+                continue
             remedy._fired += 1
             action = Action(at=now, remedy=remedy.name, description=description)
             self.actions.append(action)
@@ -157,4 +165,65 @@ def migrate_module_remedy(
         action=lambda: home.migrate_module(pipeline, module_name, target_device),
         cooldown_s=cooldown_s,
         max_firings=1,
+    )
+
+
+def evacuate_dead_device_remedy(
+    home,
+    pipeline: "Pipeline",
+    detector: "FailureDetector",
+    cooldown_s: float = 1.0,
+) -> Remedy:
+    """Re-deploy modules off devices the failure detector declared dead.
+
+    The recovery half of the §7 loop: the detector notices the outage, this
+    remedy moves every stranded module of *pipeline* to the best surviving
+    device (fastest CPU, ties by name; container-capable when any stranded
+    module declares services). Per-module failures are isolated so one bad
+    migration doesn't strand the rest.
+    """
+
+    def stranded_on(device: str) -> list[str]:
+        return [
+            m for m in pipeline.module_names()
+            if pipeline.device_of(m) == device
+        ]
+
+    def needs_containers(module_name: str) -> bool:
+        return bool(pipeline.config.module(module_name).services)
+
+    def condition(monitor: Monitor) -> str | None:
+        for device in detector.dead_devices():
+            stranded = stranded_on(device)
+            if stranded:
+                return f"dead {device!r} still hosts {', '.join(stranded)}"
+        return None
+
+    def pick_target(avoid: set[str], containers: bool) -> str | None:
+        candidates = [
+            d for d in home.devices.values()
+            if d.up and d.name not in avoid and not detector.is_dead(d.name)
+            and (not containers or d.supports_containers)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda d: (d.spec.cpu_factor, d.name)).name
+
+    def action() -> None:
+        for device in detector.dead_devices():
+            for module_name in stranded_on(device):
+                target = pick_target({device}, needs_containers(module_name))
+                if target is None:
+                    continue  # nowhere to go; retry next evaluation
+                try:
+                    home.migrate_module(pipeline, module_name, target)
+                except Exception:
+                    continue  # isolate per-module failures
+                pipeline.metrics.increment("recovery_migrations")
+
+    return Remedy(
+        name=f"evacuate:{pipeline.name}",
+        condition=condition,
+        action=action,
+        cooldown_s=cooldown_s,
     )

@@ -9,7 +9,8 @@ from .address import Address, EndpointSpec, parse_address, parse_endpoint
 from .broker import BrokeredTransport
 from .link import ETHERNET_LAN, LOOPBACK, WIFI_HOME, Link, LinkSpec
 from .message import KIND_DATA, KIND_REPLY, KIND_REQUEST, KIND_SIGNAL, Message
-from .rpc import RpcClient, RpcServer
+from .resilience import CircuitBreaker, CircuitBreakerPolicy, RetryPolicy
+from .rpc import DEFAULT_TIMEOUT_S, RpcClient, RpcServer
 from .sockets import PubSocket, PullSocket, PushSocket, SubSocket
 from .topology import Topology
 from .transport import BrokerlessTransport, Transport
@@ -19,6 +20,9 @@ __all__ = [
     "Address",
     "BrokeredTransport",
     "BrokerlessTransport",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "DEFAULT_TIMEOUT_S",
     "ETHERNET_LAN",
     "EndpointSpec",
     "KIND_DATA",
@@ -32,6 +36,7 @@ __all__ = [
     "PubSocket",
     "PullSocket",
     "PushSocket",
+    "RetryPolicy",
     "RpcClient",
     "RpcServer",
     "SubSocket",

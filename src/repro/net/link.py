@@ -83,6 +83,9 @@ class Link:
         #: The airtime resource. Pass a shared Resource to model a shared
         #: medium (Wi-Fi); default is a private point-to-point medium.
         self.medium = medium if medium is not None else Resource(kernel, 1, f"{name}.medium")
+        #: Additional per-message latency, mutable at runtime — the knob the
+        #: fault injector turns for transient latency-spike faults.
+        self.extra_latency_s = 0.0
         # counters
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -105,12 +108,13 @@ class Link:
         self.messages_sent += 1
         self.bytes_sent += nbytes
         latency = lognormal_around(self.rng, self.spec.latency_s, self.spec.jitter_cv)
-        yield latency
+        yield latency + self.extra_latency_s
         done.succeed(self.kernel.now)
 
     def expected_delay(self, nbytes: int) -> float:
         """Uncontended expected transfer time (for planning/placement)."""
-        return self.spec.transmission_time(nbytes) + self.spec.latency_s
+        return (self.spec.transmission_time(nbytes) + self.spec.latency_s
+                + self.extra_latency_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name} {self.messages_sent} msgs {self.bytes_sent}B>"

@@ -1,0 +1,143 @@
+"""Client-side resilience policies: retry with backoff, circuit breaking.
+
+The edge setting of the paper (§2, §7) is a home full of consumer devices
+that reboot, drop off Wi-Fi, and come back.  A caller that simply blocks on
+a dead endpoint stalls its whole pipeline; one that hammers a dead endpoint
+wastes the medium for everyone else.  The two policies here are the classic
+pair used by production RPC stacks:
+
+* :class:`RetryPolicy` — capped exponential backoff with decorrelating
+  jitter.  Jitter is drawn from a *named deterministic* RNG stream
+  (see :mod:`repro.sim.rng`), so a seeded simulation produces an identical
+  retry schedule on every run.
+* :class:`CircuitBreaker` — a per-target failure counter that trips *open*
+  after ``failure_threshold`` consecutive transport failures, rejects calls
+  instantly while open, and after ``reset_timeout_s`` lets exactly one
+  *half-open* probe through to test whether the target recovered.
+
+Both are plain state machines with no kernel dependencies, which keeps them
+trivially unit-testable; the :class:`~repro.net.rpc.RpcClient` drives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Capped exponential backoff with optional jitter.
+
+    Args:
+        max_attempts: total attempts, including the first (1 = no retry).
+        base_delay_s: delay before the first retry.
+        multiplier: growth factor per retry.
+        max_delay_s: ceiling on any single delay.
+        jitter: relative jitter half-width; the delay is scaled by a factor
+            uniform in ``[1 - jitter, 1 + jitter]``.  Requires an RNG at
+            :meth:`backoff_s` time; with ``rng=None`` the schedule is the
+            pure deterministic exponential.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Delay before retry number *attempt* (1 = after the first failure)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1))
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitBreakerPolicy:
+    """Knobs for :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+
+
+class CircuitBreaker:
+    """The closed → open → half-open state machine for one target.
+
+    ``allow(now)`` must be consulted before each attempt; the caller then
+    reports the outcome with :meth:`record_success` / :meth:`record_failure`.
+    While half-open, only a single probe is admitted at a time: its success
+    closes the circuit, its failure re-opens it for another full
+    ``reset_timeout_s``.
+    """
+
+    def __init__(self, policy: CircuitBreakerPolicy, name: str = "") -> None:
+        self.policy = policy
+        self.name = name
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = float("-inf")
+        self._probe_in_flight = False
+        # statistics
+        self.opens = 0
+        self.rejections = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether an attempt may proceed at simulated time *now*."""
+        if self.state == OPEN and now - self.opened_at >= self.policy.reset_timeout_s:
+            self.state = HALF_OPEN
+            self._probe_in_flight = False
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        self._probe_in_flight = False
+        tripped = (
+            self.state == HALF_OPEN
+            or (self.state == CLOSED
+                and self.consecutive_failures >= self.policy.failure_threshold)
+        )
+        if tripped:
+            self.state = OPEN
+            self.opened_at = now
+            self.opens += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CircuitBreaker {self.name or '?'} {self.state}"
+                f" failures={self.consecutive_failures}>")

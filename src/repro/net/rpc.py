@@ -4,6 +4,16 @@ Modules use this path when the service they call lives on a *different*
 device — the remote-API-call pattern of the EdgeEye-style baseline. The
 client correlates replies by request id on a per-client reply address; the
 server runs its handler and sends the result (or a remote error) back.
+
+Resilience (§7 "edge devices fail"): every call carries a default timeout
+(:data:`DEFAULT_TIMEOUT_S`), its timer is cancelled the moment the reply
+arrives so long runs don't accumulate dead kernel events, and a client can
+be configured with a :class:`~repro.net.resilience.RetryPolicy` (capped
+exponential backoff + jitter) and a per-target
+:class:`~repro.net.resilience.CircuitBreaker` with half-open probing.
+Transport-level failures (delivery errors, link partitions, timeouts) are
+retryable; *remote* errors — the handler ran and raised — are not, and they
+count as proof of liveness for the breaker.
 """
 
 from __future__ import annotations
@@ -11,11 +21,15 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
-from ..errors import RpcError
+import numpy as np
+
+from ..errors import CircuitOpenError, NetworkError, RpcError
+from ..sim.events import Event
 from ..sim.kernel import Kernel
 from ..sim.signals import Signal
 from .address import Address
 from .message import KIND_REPLY, KIND_REQUEST, Message
+from .resilience import CircuitBreaker, CircuitBreakerPolicy, RetryPolicy
 from .transport import Transport
 
 #: Header keys used by the RPC protocol.
@@ -23,24 +37,189 @@ H_REQUEST_ID = "rpc_id"
 H_REPLY_TO = "reply_to"
 H_ERROR = "rpc_error"
 
+#: Safety-net timeout applied when a call gives no explicit one. Generous on
+#: purpose: it exists so a dead endpoint cannot hang a caller forever, not to
+#: police slow services (per-call budgets belong to the caller).
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Default per-target breaker for clients that don't override it.
+DEFAULT_BREAKER = CircuitBreakerPolicy(failure_threshold=5, reset_timeout_s=5.0)
+
+_UNSET: Any = object()
+
 
 class RpcClient:
-    """Issues requests from one device; owns an ephemeral reply address."""
+    """Issues requests from one device; owns an ephemeral reply address.
 
-    def __init__(self, kernel: Kernel, transport: Transport, device: str) -> None:
+    Args:
+        kernel, transport, device: as before.
+        default_timeout_s: timeout applied when :meth:`call` is not given
+            one explicitly; ``None`` disables the safety net.
+        retry: default :class:`RetryPolicy` for calls (``None`` = single
+            attempt). Only transport-level failures are retried.
+        breaker: per-target circuit-breaker policy; ``None`` disables
+            circuit breaking for this client.
+        rng: RNG used for backoff jitter (``None`` = jitter off).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        transport: Transport,
+        device: str,
+        *,
+        default_timeout_s: float | None = DEFAULT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreakerPolicy | None = DEFAULT_BREAKER,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         self.kernel = kernel
         self.transport = transport
         self.device = device
+        self.default_timeout_s = default_timeout_s
+        self.retry = retry
+        self.breaker_policy = breaker
+        self._rng = rng
         self.reply_address = Address(device, transport.ephemeral_port(device))
         self._request_ids = itertools.count(1)
         self._pending: dict[int, Signal] = {}
+        self._timers: dict[int, Event] = {}
+        self._breakers: dict[Address, CircuitBreaker] = {}
+        self._closed = False
         transport.bind(self.reply_address, self._on_reply)
+        # statistics
         self.calls_sent = 0
+        self.calls_failed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.late_replies = 0
 
-    def call(self, target: Address, payload: Any, timeout: float | None = None) -> Signal:
+    # -- public API -----------------------------------------------------------
+    def call(
+        self,
+        target: Address,
+        payload: Any,
+        timeout: float | None = _UNSET,
+        retry: RetryPolicy | None = _UNSET,
+    ) -> Signal:
         """Send *payload* to *target*; the returned signal resolves with the
         reply payload, or fails with :class:`~repro.errors.RpcError` on a
-        remote error or timeout."""
+        remote error, timeout, or (after any retries) delivery failure.
+
+        ``timeout``/``retry`` default to the client-wide policies; pass
+        ``None`` explicitly to disable either for one call.
+        """
+        timeout_s = self.default_timeout_s if timeout is _UNSET else timeout
+        policy = self.retry if retry is _UNSET else retry
+        done = self.kernel.signal(name=f"rpc-call:{target.device}:{target.port}")
+        self._start_attempt(target, payload, timeout_s, policy, done, 1)
+        return done
+
+    def breaker_for(self, target: Address) -> CircuitBreaker | None:
+        """The (lazily created) breaker guarding *target*; None if disabled."""
+        if self.breaker_policy is None:
+            return None
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy, name=str(target))
+            self._breakers[target] = breaker
+        return breaker
+
+    @property
+    def circuit_opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+    @property
+    def circuit_rejections(self) -> int:
+        return sum(b.rejections for b in self._breakers.values())
+
+    def close(self) -> None:
+        """Idempotent teardown: unbind the reply address and fail every
+        in-flight request (cancelling their timeout timers)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.transport.unbind(self.reply_address)
+        for request_id in list(self._pending):
+            result = self._settle(request_id)
+            if result is not None and result.pending:
+                result.fail(RpcError("rpc client closed"))
+
+    # -- attempt machinery -----------------------------------------------------
+    def _start_attempt(
+        self,
+        target: Address,
+        payload: Any,
+        timeout_s: float | None,
+        policy: RetryPolicy | None,
+        done: Signal,
+        attempt: int,
+    ) -> None:
+        if not done.pending:
+            return
+        if self._closed:
+            done.fail(RpcError("rpc client closed"))
+            return
+        breaker = self.breaker_for(target)
+        if breaker is not None and not breaker.allow(self.kernel.now):
+            self.calls_failed += 1
+            done.fail(CircuitOpenError(
+                f"circuit open for {target} after"
+                f" {breaker.consecutive_failures} consecutive failures"
+            ))
+            return
+        result = self._attempt(target, payload, timeout_s)
+        result.wait(
+            lambda value, exc: self._on_attempt_done(
+                target, payload, timeout_s, policy, done, attempt, value, exc
+            )
+        )
+
+    def _on_attempt_done(
+        self,
+        target: Address,
+        payload: Any,
+        timeout_s: float | None,
+        policy: RetryPolicy | None,
+        done: Signal,
+        attempt: int,
+        value: Any,
+        exc: BaseException | None,
+    ) -> None:
+        if not done.pending:
+            return
+        breaker = self.breaker_for(target)
+        if exc is None:
+            if breaker is not None:
+                breaker.record_success()
+            done.succeed(value)
+            return
+        retryable = self._is_retryable(exc)
+        if breaker is not None:
+            if retryable:
+                breaker.record_failure(self.kernel.now)
+            else:
+                breaker.record_success()  # a remote error proves liveness
+        max_attempts = policy.max_attempts if policy is not None else 1
+        if retryable and not self._closed and attempt < max_attempts:
+            self.retries += 1
+            delay = policy.backoff_s(attempt, self._rng)
+            self.kernel.schedule(
+                delay, self._start_attempt,
+                target, payload, timeout_s, policy, done, attempt + 1,
+            )
+            return
+        self.calls_failed += 1
+        done.fail(exc)
+
+    @staticmethod
+    def _is_retryable(exc: BaseException) -> bool:
+        if isinstance(exc, RpcError) and exc.remote:
+            return False  # the handler ran and raised; retrying won't help
+        return isinstance(exc, NetworkError)
+
+    # -- single attempt --------------------------------------------------------
+    def _attempt(self, target: Address, payload: Any, timeout_s: float | None) -> Signal:
         request_id = next(self._request_ids)
         result = self.kernel.signal(name=f"rpc#{request_id}")
         self._pending[request_id] = result
@@ -54,35 +233,46 @@ class RpcClient:
         self.calls_sent += 1
         sent = self.transport.send(message)
         sent.wait(lambda _v, exc: self._on_send_failure(request_id, exc))
-        if timeout is not None:
-            self.kernel.schedule(timeout, self._on_timeout, request_id)
+        if timeout_s is not None:
+            self._timers[request_id] = self.kernel.schedule(
+                timeout_s, self._on_timeout, request_id
+            )
+        return result
+
+    def _settle(self, request_id: int) -> Signal | None:
+        """Drop a request's bookkeeping; cancels its timeout timer so dead
+        events don't linger in (and stretch) the kernel queue."""
+        result = self._pending.pop(request_id, None)
+        timer = self._timers.pop(request_id, None)
+        if timer is not None:
+            self.kernel.cancel(timer)
         return result
 
     def _on_send_failure(self, request_id: int, exc: BaseException | None) -> None:
         if exc is None:
             return
-        result = self._pending.pop(request_id, None)
+        result = self._settle(request_id)
         if result is not None and result.pending:
             result.fail(RpcError(f"request delivery failed: {exc}"))
 
     def _on_timeout(self, request_id: int) -> None:
+        self._timers.pop(request_id, None)
         result = self._pending.pop(request_id, None)
         if result is not None and result.pending:
+            self.timeouts += 1
             result.fail(RpcError(f"rpc request #{request_id} timed out"))
 
     def _on_reply(self, message: Message) -> None:
         request_id = message.headers.get(H_REQUEST_ID)
-        result = self._pending.pop(request_id, None)
+        result = self._settle(request_id)
         if result is None or not result.pending:
+            self.late_replies += 1
             return  # late reply after timeout: discard
         error = message.headers.get(H_ERROR)
         if error is not None:
             result.fail(RpcError(str(error), remote=True))
         else:
             result.succeed(message.payload)
-
-    def close(self) -> None:
-        self.transport.unbind(self.reply_address)
 
 
 #: Server handlers receive (payload, message) and either return a plain
@@ -107,6 +297,12 @@ class RpcServer:
         self.requests_served = 0
         self.requests_failed = 0
         transport.bind(address, self._on_request)
+
+    def open(self) -> None:
+        """(Re)bind the endpoint — the server half of a service restart.
+        A no-op if the address is already bound."""
+        if not self.transport.is_bound(self.address):
+            self.transport.bind(self.address, self._on_request)
 
     def _on_request(self, message: Message) -> None:
         try:

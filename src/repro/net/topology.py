@@ -33,6 +33,8 @@ class Topology:
         self.graph = nx.Graph()
         self._loopbacks: dict[str, Link] = {}
         self._shared_media: dict[str, Resource] = {}
+        self._down: set[str] = set()
+        self._partitioned: set[str] = set()
 
     # -- construction --------------------------------------------------------
     def add_device(self, name: str) -> None:
@@ -74,6 +76,44 @@ class Topology:
         )
         self.graph.add_edge(a, b, link=link)
 
+    # -- failure surface --------------------------------------------------------
+    def set_device_up(self, name: str, up: bool = True) -> None:
+        """Mark a device as powered on/off. A down device neither sends nor
+        receives; the :class:`~repro.net.transport.Transport` consults this
+        flag at both ends of every delivery."""
+        if name not in self.graph:
+            raise NetworkError(f"unknown device {name!r}")
+        if up:
+            self._down.discard(name)
+        else:
+            self._down.add(name)
+
+    def device_is_up(self, name: str) -> bool:
+        return name not in self._down
+
+    def partition(self, name: str) -> None:
+        """Cut *name* off from the network (device stays up — the classic
+        'fell off Wi-Fi' fault). Loopback traffic is unaffected."""
+        if name not in self.graph:
+            raise NetworkError(f"unknown node {name!r}")
+        self._partitioned.add(name)
+
+    def heal(self, name: str) -> None:
+        """Undo :meth:`partition` (idempotent)."""
+        self._partitioned.discard(name)
+
+    def is_partitioned(self, name: str) -> bool:
+        return name in self._partitioned
+
+    def incident_links(self, name: str) -> list[Link]:
+        """Every link touching *name* (for latency-spike fault injection)."""
+        if name not in self.graph:
+            raise NetworkError(f"unknown node {name!r}")
+        return [
+            self.graph.edges[name, nbr]["link"]
+            for nbr in self.graph.neighbors(name)
+        ]
+
     # -- queries ---------------------------------------------------------------
     def has_device(self, name: str) -> bool:
         return name in self.graph and self.graph.nodes[name].get("kind") == "device"
@@ -104,8 +144,16 @@ class Topology:
             return [self.loopback(src)]
         if src not in self.graph or dst not in self.graph:
             raise LinkDown(f"unknown device in route {src!r} -> {dst!r}")
+        for endpoint in (src, dst):
+            if endpoint in self._partitioned:
+                raise LinkDown(f"{endpoint!r} is partitioned from the network")
+        graph = self.graph
+        if self._partitioned:
+            graph = nx.subgraph_view(
+                self.graph, filter_node=lambda n: n not in self._partitioned
+            )
         try:
-            path = nx.shortest_path(self.graph, src, dst)
+            path = nx.shortest_path(graph, src, dst)
         except nx.NetworkXNoPath as exc:
             raise LinkDown(f"no route from {src!r} to {dst!r}") from exc
         return [

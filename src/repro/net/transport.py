@@ -32,12 +32,21 @@ class Transport:
         self.topology = topology
         self._handlers: dict[Address, Handler] = {}
         self._ephemeral: dict[str, itertools.count] = {}
+        # insertion-ordered so close() fails pending sends deterministically
+        self._pending_sends: dict[Signal, None] = {}
+        self._closed = False
         self.delivered_count = 0
         self.failed_count = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- binding ---------------------------------------------------------------
     def bind(self, address: Address, handler: Handler) -> None:
         """Register *handler* to receive messages addressed to *address*."""
+        if self._closed:
+            raise NetworkError(f"cannot bind {address}: transport is closed")
         if address in self._handlers:
             raise NetworkError(f"address {address} already bound")
         if not self.topology.has_device(address.device):
@@ -67,7 +76,24 @@ class Transport:
             raise NetworkError("message needs a src address for routing")
         message.sent_at = self.kernel.now
         done = self.kernel.signal(name=f"send#{message.msg_id}")
-        arrival = self._route(message)
+        if self._closed:
+            self.failed_count += 1
+            done.fail(DeliveryError("transport is closed"))
+            return done
+        if not self.topology.device_is_up(message.src.device):
+            self.failed_count += 1
+            done.fail(DeliveryError(f"source device {message.src.device!r} is down"))
+            return done
+        try:
+            arrival = self._route(message)
+        except NetworkError as exc:
+            # routing failures (partition, unknown route) surface through the
+            # signal so retry/failover paths see them like any other failure
+            self.failed_count += 1
+            done.fail(exc)
+            return done
+        self._pending_sends[done] = None
+        done.wait(lambda _v, _e: self._pending_sends.pop(done, None))
         arrival.wait(lambda _t, exc: self._deliver(message, done, exc))
         return done
 
@@ -79,9 +105,19 @@ class Transport:
         )
 
     def _deliver(self, message: Message, done: Signal, exc: BaseException | None) -> None:
+        if not done.pending:
+            return  # already failed (e.g. the transport closed mid-flight)
         if exc is not None:
             self.failed_count += 1
             done.fail(exc)
+            return
+        if self._closed:
+            self.failed_count += 1
+            done.fail(DeliveryError("transport closed while message in flight"))
+            return
+        if not self.topology.device_is_up(message.dst.device):
+            self.failed_count += 1
+            done.fail(DeliveryError(f"device {message.dst.device!r} is down"))
             return
         handler = self._handlers.get(message.dst)
         if handler is None:
@@ -92,6 +128,22 @@ class Transport:
         self.delivered_count += 1
         handler(message)
         done.succeed(self.kernel.now)
+
+    # -- teardown ----------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent shutdown: unbind every address and fail in-flight sends
+        (instead of leaking forever-pending signals). Further ``bind``/``send``
+        calls are rejected/failed."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handlers.clear()
+        pending = list(self._pending_sends)
+        self._pending_sends.clear()
+        for sig in pending:
+            if sig.pending:
+                self.failed_count += 1
+                sig.fail(DeliveryError("transport closed"))
 
 
 class BrokerlessTransport(Transport):

@@ -47,15 +47,24 @@ class ModuleConfig:
 
 @dataclass(slots=True)
 class PipelineConfig:
-    """A whole application: its module DAG plus the designated source."""
+    """A whole application: its module DAG plus the designated source.
+
+    ``service_timeout_s`` caps every remote service call made by this
+    pipeline's modules; ``None`` derives a per-target timeout from the
+    link/compute budget (see
+    :func:`repro.services.stubs.derive_service_timeout`).
+    """
 
     name: str
     modules: list[ModuleConfig] = field(default_factory=list)
     source: str | None = None
+    service_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigError("pipeline needs a name")
+        if self.service_timeout_s is not None and self.service_timeout_s <= 0:
+            raise ConfigError("service_timeout_s must be positive")
         seen: set[str] = set()
         for module in self.modules:
             if module.name in seen:
@@ -90,6 +99,7 @@ class PipelineConfig:
         return {
             "name": self.name,
             "source": self.source,
+            "service_timeout_s": self.service_timeout_s,
             "modules": [
                 {
                     "name": m.name,
@@ -135,5 +145,6 @@ def config_from_dict(data: dict[str, Any]) -> PipelineConfig:
             )
         )
     return PipelineConfig(
-        name=data["name"], modules=modules, source=data.get("source")
+        name=data["name"], modules=modules, source=data.get("source"),
+        service_timeout_s=data.get("service_timeout_s"),
     )

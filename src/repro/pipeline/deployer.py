@@ -89,6 +89,7 @@ class Deployer:
                         device,
                         service,
                         prefer_local=prefer_local_services,
+                        timeout_s=config.service_timeout_s,
                     )
                     for service in module_cfg.services
                 }
@@ -159,7 +160,8 @@ class Deployer:
         pipeline.wiring.addresses[module_name] = new_address
         stubs = {
             service: make_stub(
-                self.kernel, self.transport, self.registry, target, service
+                self.kernel, self.transport, self.registry, target, service,
+                timeout_s=pipeline.config.service_timeout_s,
             )
             for service in module_cfg.services
         }

@@ -113,6 +113,19 @@ class ModuleRuntime:
         deployed.active = False
         self.transport.unbind(deployed.address)
 
+    def drop_queued_events(self) -> int:
+        """Device-crash semantics: events still queued in mailboxes are lost
+        with RAM; their frame references are released so the store doesn't
+        leak. Returns the number of events dropped."""
+        from ..frames.payloads import release_refs
+
+        dropped = 0
+        for deployed in self._deployed.values():
+            for event in deployed.mailbox.drain():
+                release_refs(event.payload, self.device.frame_store)
+                dropped += 1
+        return dropped
+
     def deployed(self, name: str) -> DeployedModule:
         try:
             return self._deployed[name]

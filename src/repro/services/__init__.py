@@ -5,6 +5,7 @@ from .balancer import (
     FIRST,
     LEAST_LOADED,
     expected_service_time,
+    host_is_live,
     select_host,
 )
 from .base import FunctionService, Service, ServiceCallContext
@@ -26,12 +27,20 @@ from .builtin import (
 from .host import ServiceHost
 from .registry import ServiceRegistry
 from .scaling import AutoScaler, ScalingEvent, ScalingPolicy
-from .stubs import LocalServiceStub, RemoteServiceStub, ServiceStub, make_stub
+from .stubs import (
+    DEFAULT_SERVICE_RETRY,
+    LocalServiceStub,
+    RemoteServiceStub,
+    ServiceStub,
+    derive_service_timeout,
+    make_stub,
+)
 
 __all__ = [
     "ActivityClassifierService",
     "ActuationEvent",
     "AutoScaler",
+    "DEFAULT_SERVICE_RETRY",
     "DisplayService",
     "DisplaySink",
     "DisplayedFrame",
@@ -56,7 +65,9 @@ __all__ = [
     "ServiceHost",
     "ServiceRegistry",
     "ServiceStub",
+    "derive_service_timeout",
     "expected_service_time",
+    "host_is_live",
     "make_stub",
     "select_host",
 ]

@@ -27,19 +27,37 @@ def expected_service_time(host: ServiceHost) -> float:
     return host.device.spec.compute_time(host.service.reference_cost_s)
 
 
+def host_is_live(host: ServiceHost) -> bool:
+    """A host is dialable only while both it and its device are up."""
+    return host.up and host.device.up
+
+
 def select_host(
     registry: ServiceRegistry,
     service_name: str,
     policy: str = FASTEST,
+    exclude_devices: frozenset[str] | set[str] | tuple[str, ...] = (),
 ) -> ServiceHost:
-    """Choose a host of *service_name* under *policy*.
+    """Choose a *live* host of *service_name* under *policy*.
 
-    Deterministic: ties break by device name, so placement and simulation
-    stay reproducible.
+    Crashed hosts and hosts on down devices are skipped — this is the
+    failover half of the recovery story: a retrying caller re-selects and
+    lands on a surviving replica. ``exclude_devices`` lets that caller also
+    skip devices it already tried. Deterministic: ties break by device name,
+    so placement and simulation stay reproducible.
     """
-    hosts = registry.hosts_of(service_name)
-    if not hosts:
+    registered = registry.hosts_of(service_name)
+    if not registered:
         raise ServiceError(f"no host registered for service {service_name!r}")
+    hosts = [
+        h for h in registered
+        if host_is_live(h) and h.device.name not in exclude_devices
+    ]
+    if not hosts:
+        raise ServiceError(
+            f"no live replica of {service_name!r}"
+            f" ({len(registered)} registered, all down or excluded)"
+        )
     if policy == FIRST:
         return hosts[0]
     if policy == FASTEST:

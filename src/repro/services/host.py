@@ -12,6 +12,12 @@ service on one device. It exposes two entry points:
 
 Requests queue on the replica pool, so a shared service saturates exactly
 the way Table 2's two-pipeline column shows.
+
+Failure semantics: :meth:`crash` models the service process dying — the RPC
+endpoint unbinds (remote callers see delivery failures, which are retryable
+and failover-able), in-flight calls are interrupted and failed, and the
+worker pool is discarded wholesale. :meth:`restart` rebinds the endpoint
+with a fresh pool. :meth:`close` is the orderly, idempotent teardown.
 """
 
 from __future__ import annotations
@@ -19,13 +25,14 @@ from __future__ import annotations
 from typing import Any
 
 from ..devices.device import Device
-from ..errors import ServiceError
+from ..errors import Interrupt, ServiceError
 from ..frames.payloads import decode_frames_inline, resolve_refs
 from ..net.address import Address
 from ..net.message import Message
 from ..net.rpc import RpcServer
 from ..net.transport import Transport
 from ..sim.kernel import Kernel
+from ..sim.process import Process
 from ..sim.resources import Resource
 from ..sim.signals import Signal
 from .base import Service, ServiceCallContext
@@ -50,6 +57,7 @@ class ServiceHost:
         self.device = device
         self.service = service
         self.native = native
+        self._replica_target = replicas
         self.workers = Resource(
             kernel, replicas, name=f"{device.name}.{service.name}.workers"
         )
@@ -61,10 +69,16 @@ class ServiceHost:
             rng=device.local_rng(f"service/{service.name}"),
             kernel=kernel,
         )
+        #: In-flight calls: result signal -> executing process.
+        self._inflight: dict[Signal, Process] = {}
+        self.up = True
+        self._closed = False
         # statistics
         self.local_calls = 0
         self.remote_calls = 0
         self.errors = 0
+        self.crashes = 0
+        self.dropped_in_flight = 0
         self.total_busy_s = 0.0
         self.total_wait_s = 0.0
 
@@ -79,34 +93,48 @@ class ServiceHost:
     def add_replica(self, count: int = 1) -> None:
         """Horizontal scaling: add worker replicas (stateless, so trivial —
         the property the paper's design buys)."""
+        self._replica_target += count
         self.workers.grow(count)
 
     # -- call paths -----------------------------------------------------------
     def call_local(self, payload: Any) -> Signal:
         """Co-located call: refs resolve in-place, nothing is serialized."""
         self.local_calls += 1
+        if not self.up:
+            self.errors += 1
+            return self.kernel.signal(name=f"{self.service_name}.call").fail(
+                ServiceError(f"{self.service_name}@{self.device.name} is down")
+            )
         return self._execute(payload, decode_cost=0.0)
 
     def _handle_remote(self, payload: Any, message: Message) -> Signal:
         """Remote call: pay frame decode before the service sees the data."""
         self.remote_calls += 1
+        if not self.up:  # crash raced an in-flight request
+            self.errors += 1
+            return self.kernel.signal(name=f"{self.service_name}.call").fail(
+                ServiceError(f"{self.service_name}@{self.device.name} is down")
+            )
         localized, decode_cost = decode_frames_inline(payload)
         return self._execute(localized, decode_cost=decode_cost)
 
     # -- execution ---------------------------------------------------------------
     def _execute(self, payload: Any, decode_cost: float) -> Signal:
         done = self.kernel.signal(name=f"{self.service_name}.call")
-        self.kernel.process(
+        proc = self.kernel.process(
             self._run(payload, decode_cost, done),
             name=f"{self.service_name}.exec",
         )
+        self._inflight[done] = proc
         return done
 
     def _run(self, payload: Any, decode_cost: float, done: Signal):
-        grant = yield self.workers.request()
-        self.total_wait_s += grant.wait_time
-        started = self.kernel.now
+        grant = None
+        result = None
         try:
+            grant = yield self.workers.request()
+            self.total_wait_s += grant.wait_time
+            started = self.kernel.now
             if decode_cost > 0:
                 yield self.device.cpu.execute_fixed(decode_cost)
             resolved = resolve_refs(payload, self.device.frame_store)
@@ -114,14 +142,68 @@ class ServiceHost:
             if cost > 0:
                 yield self.device.cpu.execute(cost)
             result = self.service.handle(resolved, self._ctx)
+            self.total_busy_s += self.kernel.now - started
+        except Interrupt as stop:
+            if done.pending:
+                done.fail(ServiceError(
+                    f"{self.service_name}@{self.device.name} dropped call:"
+                    f" {stop.cause}"
+                ))
+            return
         except Exception as exc:
             self.errors += 1
-            self.workers.release(grant)
-            done.fail(ServiceError(f"{self.service_name} failed: {exc}"))
+            if done.pending:
+                done.fail(ServiceError(f"{self.service_name} failed: {exc}"))
             return
-        self.total_busy_s += self.kernel.now - started
-        self.workers.release(grant)
-        done.succeed(result)
+        finally:
+            self._inflight.pop(done, None)
+            # a grant from a pre-crash worker pool dies with that pool
+            if (grant is not None and not grant.released
+                    and grant.resource is self.workers):
+                self.workers.release(grant)
+        if done.pending:
+            done.succeed(result)
+
+    # -- failure lifecycle -------------------------------------------------------
+    def crash(self) -> None:
+        """The service process dies: endpoint unbound, in-flight calls
+        dropped, worker pool discarded. Idempotent."""
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        self._rpc.close()
+        self._drop_inflight(f"{self.service_name}@{self.device.name} crashed")
+        self.workers = Resource(
+            self.kernel, self._replica_target,
+            name=f"{self.device.name}.{self.service_name}.workers",
+        )
+
+    def restart(self) -> None:
+        """Bring a crashed host back: rebind the RPC endpoint. Idempotent;
+        a closed host stays closed."""
+        if self.up or self._closed:
+            return
+        self.up = True
+        self._rpc.open()
+
+    def _drop_inflight(self, reason: str) -> None:
+        inflight = list(self._inflight.items())
+        self._inflight.clear()
+        self.dropped_in_flight += len(inflight)
+        for done, proc in inflight:
+            proc.interrupt(reason)
+            if done.pending:
+                done.fail(ServiceError(f"call dropped: {reason}"))
+
+    def close(self) -> None:
+        """Orderly, idempotent teardown: unbind and fail anything pending."""
+        if self._closed:
+            return
+        self._closed = True
+        self.up = False
+        self._rpc.close()
+        self._drop_inflight(f"{self.service_name}@{self.device.name} closed")
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -135,12 +217,10 @@ class ServiceHost:
     def utilization(self) -> float:
         return self.workers.utilization()
 
-    def close(self) -> None:
-        self._rpc.close()
-
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "native" if self.native else "container"
+        state = "up" if self.up else "down"
         return (
             f"<ServiceHost {self.service_name}@{self.device.name} ({kind},"
-            f" {self.replicas} replicas)>"
+            f" {self.replicas} replicas, {state})>"
         )

@@ -1,0 +1,127 @@
+"""Unit tests for the declarative fault timeline."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    DEVICE_CRASH,
+    DEVICE_RESTART,
+    LATENCY_SPIKE,
+    LINK_HEAL,
+    LINK_PARTITION,
+    SERVICE_CRASH,
+    SERVICE_RESTART,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(-1.0, DEVICE_CRASH, "desktop")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, "meteor_strike", "desktop")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, DEVICE_CRASH, "")
+
+    def test_service_kind_needs_at_format(self):
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, SERVICE_CRASH, "pose_detector")
+        FaultEvent(1.0, SERVICE_CRASH, "pose_detector@desktop")  # fine
+
+    def test_latency_spike_needs_positive_extra(self):
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, LATENCY_SPIKE, "phone")
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, LATENCY_SPIKE, "phone", {"extra_latency_s": -0.1})
+        FaultEvent(1.0, LATENCY_SPIKE, "phone", {"extra_latency_s": 0.1})
+
+
+class TestBuilders:
+    def test_device_crash_with_down_for_appends_restart(self):
+        plan = FaultPlan().device_crash(4.0, "desktop", down_for=8.0)
+        kinds = [(e.at, e.kind) for e in plan]
+        assert kinds == [(4.0, DEVICE_CRASH), (12.0, DEVICE_RESTART)]
+
+    def test_partition_with_heal_after(self):
+        plan = FaultPlan().partition(3.0, "phone", heal_after=2.0)
+        kinds = [(e.at, e.kind) for e in plan]
+        assert kinds == [(3.0, LINK_PARTITION), (5.0, LINK_HEAL)]
+
+    def test_flap_expands_to_cycles(self):
+        plan = FaultPlan().flap(1.0, "tv", count=3, down_s=0.5, up_s=1.5)
+        events = list(plan)
+        assert len(events) == 6
+        assert [e.at for e in events if e.kind == LINK_PARTITION] == [
+            1.0, 3.0, 5.0]
+        assert [e.at for e in events if e.kind == LINK_HEAL] == [
+            1.5, 3.5, 5.5]
+
+    def test_service_crash_targets_one_replica(self):
+        plan = FaultPlan().service_crash(3.0, "pose_detector", "desktop",
+                                         down_for=1.0)
+        events = list(plan)
+        assert events[0].target == "pose_detector@desktop"
+        assert events[1].kind == SERVICE_RESTART
+
+    def test_latency_spike_with_duration_restores(self):
+        plan = FaultPlan().latency_spike(2.0, "phone", extra_latency_s=0.2,
+                                         duration_s=3.0)
+        spike, restore = list(plan)
+        assert spike.params["extra_latency_s"] == 0.2
+        assert restore.at == 5.0
+        assert restore.params["extra_latency_s"] == -0.2
+
+    def test_nonpositive_durations_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan().device_crash(1.0, "desktop", down_for=0.0)
+        with pytest.raises(FaultError):
+            FaultPlan().partition(1.0, "phone", heal_after=-1.0)
+        with pytest.raises(FaultError):
+            FaultPlan().flap(1.0, "tv", count=0, down_s=1.0, up_s=1.0)
+
+
+class TestOrdering:
+    def test_events_sorted_by_time(self):
+        plan = (FaultPlan()
+                .partition(6.0, "tv")
+                .device_crash(2.0, "desktop")
+                .heal(4.0, "tv"))
+        assert [e.at for e in plan.events()] == [2.0, 4.0, 6.0]
+
+    def test_ties_keep_insertion_order(self):
+        plan = (FaultPlan()
+                .device_crash(5.0, "a_first")
+                .device_crash(5.0, "b_second")
+                .device_crash(5.0, "c_third"))
+        # intentionally inserted in non-alphabetical-breaking order
+        assert [e.target for e in plan.events()] == [
+            "a_first", "b_second", "c_third"]
+
+    def test_targets_are_distinct_and_sorted(self):
+        plan = (FaultPlan()
+                .partition(1.0, "tv", heal_after=1.0)
+                .device_crash(2.0, "desktop"))
+        assert plan.targets() == ["desktop", "tv"]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = (FaultPlan()
+                .device_crash(4.0, "desktop", down_for=8.0)
+                .latency_spike(2.0, "phone", extra_latency_s=0.1,
+                               duration_s=1.0)
+                .service_crash(3.0, "pose_detector", "desktop"))
+        restored = FaultPlan.from_dict(plan.as_dict())
+        assert restored.as_dict() == plan.as_dict()
+        assert len(restored) == len(plan)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict({"events": [
+                {"at": 1.0, "kind": "nope", "target": "x"}]})

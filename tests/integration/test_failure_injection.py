@@ -139,3 +139,175 @@ class TestOverloadedDevice:
         fps = pipeline.metrics.throughput_fps(13.0, warmup_s=2.0)
         assert 2.0 < fps < 10.5  # degraded by contention, still flowing
         assert home.device("desktop").cpu.utilization() > 0.5
+
+
+# -- chaos scenarios: the FaultPlan/ChaosInjector subsystem end to end ----------
+
+from repro.faults import FaultPlan  # noqa: E402
+from repro.services import (  # noqa: E402
+    ActivityClassifierService,
+    PoseDetectorService,
+)
+
+
+def deploy_chaos(home, recognizer, fps=10.0, standby=True,
+                 architecture="videopipe"):
+    """The fitness pipeline hardened for chaos: compute pinned to the
+    desktop, standby pose/activity replicas on a laptop, and the source's
+    credit watchdog armed so lost ready-signals cannot wedge the stream."""
+    if standby:
+        home.add_device("laptop")
+    services = install_fitness_services(home, recognizer=recognizer)
+    if standby:
+        home.deploy_service(PoseDetectorService(), "laptop")
+        home.deploy_service(ActivityClassifierService(recognizer), "laptop")
+    config = fitness_pipeline_config(fps=fps)
+    config.module("pose_detector_module").device = "desktop"
+    config.module("activity_detector_module").device = "desktop"
+    config.module("video_streaming_module").params["credit_timeout_s"] = 1.0
+    app = FitnessApp(home, services, architecture=architecture)
+    pipeline = app.deploy(config)
+    return services, pipeline
+
+
+def completed(pipeline):
+    return pipeline.metrics.counter("frames_completed")
+
+
+@pytest.mark.chaos
+class TestDeviceCrashRecovery:
+    def test_mid_run_crash_detected_evacuated_and_recovered(
+            self, fitness_recognizer):
+        """The ISSUE's acceptance scenario: the device hosting the pose
+        service dies mid-run; the failure detector notices, the orchestrator
+        re-deploys the stranded modules onto the standby laptop, and
+        post-recovery throughput lands within 30% of pre-fault."""
+        home = VideoPipe.paper_testbed(seed=11)
+        _, pipeline = deploy_chaos(home, fitness_recognizer, fps=10.0)
+        detector = home.enable_failure_detection(
+            home_device="tv", period_s=0.25, miss_threshold=2)
+        orchestrator = home.enable_self_healing(pipeline, cooldown_s=0.5)
+        home.enable_fault_injection(
+            FaultPlan().device_crash(4.0, "desktop", down_for=8.0))
+
+        home.run(until=1.0)
+        warm = completed(pipeline)
+        home.run(until=4.0)
+        pre = completed(pipeline)
+        pre_rate = (pre - warm) / 3.0
+        assert pre_rate > 5.0  # healthy before the fault
+
+        home.run(until=14.0)
+        post_start = completed(pipeline)
+        home.run(until=20.0)
+        post_rate = (completed(pipeline) - post_start) / 6.0
+
+        # the stranded compute modules were evacuated to the laptop
+        assert pipeline.device_of("pose_detector_module") == "laptop"
+        assert pipeline.device_of("activity_detector_module") == "laptop"
+        assert pipeline.metrics.counter("recovery_migrations") == 2
+        # the detector saw the outage end-to-end and reports its MTTR
+        assert detector.detections >= 1
+        assert detector.mttr_samples
+        assert 6.0 < detector.mttr_max() < 10.0
+        # no remedy blew up; the control loop stayed healthy
+        assert orchestrator.action_failures == []
+        # post-recovery throughput within 30% of pre-fault
+        assert post_rate >= 0.7 * pre_rate
+
+    def test_recovery_tracker_aggregates_the_story(self, fitness_recognizer):
+        from repro.metrics import RecoveryTracker
+
+        home = VideoPipe.paper_testbed(seed=11)
+        _, pipeline = deploy_chaos(home, fitness_recognizer, fps=10.0)
+        detector = home.enable_failure_detection(
+            home_device="tv", period_s=0.25, miss_threshold=2)
+        home.enable_self_healing(pipeline, cooldown_s=0.5)
+        injector = home.enable_fault_injection(
+            FaultPlan().device_crash(4.0, "desktop", down_for=8.0))
+        tracker = (RecoveryTracker()
+                   .watch_detector(detector)
+                   .watch_injector(injector)
+                   .watch_pipeline(pipeline))
+        home.run(until=16.0)
+        report = tracker.report()
+        assert report["faults_injected"] == 2
+        assert report["detections"] == 1
+        assert report["recoveries"] == 1
+        assert report["mttr_mean_s"] > 0
+        assert report["recovery_migrations"] == 2
+
+
+@pytest.mark.chaos
+class TestPartitionHeal:
+    def test_source_partition_stalls_then_resumes(self, fitness_recognizer):
+        """The camera phone drops off Wi-Fi for 3 s; while partitioned no
+        frames complete, and after the heal the credit watchdog restarts the
+        stream without outside help."""
+        home = VideoPipe.paper_testbed(seed=12)
+        _, pipeline = deploy_chaos(home, fitness_recognizer, fps=10.0,
+                                   standby=False)
+        home.enable_fault_injection(
+            FaultPlan().partition(3.0, "phone", heal_after=3.0))
+        home.run(until=3.0)
+        pre = completed(pipeline)
+        assert pre > 10
+        home.run(until=6.0)
+        during = completed(pipeline)
+        assert during - pre <= 3  # in-flight frames at most
+        home.run(until=12.0)
+        after = completed(pipeline)
+        assert after - during > 20  # the stream came back at full rate
+        source = pipeline.module("video_streaming_module").module.source
+        assert source.watchdog_recoveries >= 1
+
+
+@pytest.mark.chaos
+class TestReplicaFailover:
+    def test_stub_fails_over_to_standby_replica(self, fitness_recognizer):
+        """Baseline architecture (every service call remote): the desktop's
+        pose replica process dies; the stub retries, then permanently fails
+        over to the laptop replica."""
+        home = VideoPipe.paper_testbed(seed=13)
+        _, pipeline = deploy_chaos(home, fitness_recognizer, fps=5.0,
+                                   architecture="baseline")
+        home.enable_fault_injection(
+            FaultPlan().service_crash(4.0, "pose_detector", "desktop"))
+        home.run(until=4.0)
+        pre = completed(pipeline)
+        assert pre > 5
+        home.run(until=12.0)
+        stub = pipeline.module("pose_detector_module").ctx._stubs[
+            "pose_detector"]
+        assert stub.failovers >= 1
+        assert stub.target_address.device == "laptop"
+        assert completed(pipeline) - pre > 10  # flowing again post-failover
+
+
+@pytest.mark.chaos
+class TestChaosDeterminism:
+    def test_same_plan_same_seed_identical_run(self, fitness_recognizer):
+        """Acceptance: fault injection is fully deterministic — same
+        FaultPlan + same seed produce an identical fault trace, detector
+        event log, and frame count."""
+
+        def run_once():
+            home = VideoPipe.paper_testbed(seed=21)
+            _, pipeline = deploy_chaos(home, fitness_recognizer, fps=10.0)
+            detector = home.enable_failure_detection(
+                home_device="tv", period_s=0.25, miss_threshold=2)
+            home.enable_self_healing(pipeline, cooldown_s=0.5)
+            injector = home.enable_fault_injection(
+                FaultPlan()
+                .device_crash(3.0, "desktop", down_for=4.0)
+                .latency_spike(8.0, "phone", extra_latency_s=0.05,
+                               duration_s=2.0))
+            home.run(until=14.0)
+            return (
+                tuple(injector.trace),
+                tuple((e.at, e.device, e.kind, e.mttr_s)
+                      for e in detector.events),
+                completed(pipeline),
+            )
+
+        assert run_once() == run_once()

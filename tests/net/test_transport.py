@@ -109,3 +109,60 @@ class TestSend:
     def test_message_size_includes_payload_and_envelope(self):
         msg = Message(kind="data", dst=Address("desktop", 1), payload=b"x" * 1000)
         assert msg.size_bytes > 1000
+
+
+class TestFailureSurface:
+    def test_send_from_down_device_fails_fast(self, kernel, net):
+        net.bind(Address("desktop", 1), lambda m: None)
+        net.topology.set_device_up("phone", False)
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                src=Address("phone", 1000)))
+        kernel.run()
+        assert done.failed
+        assert isinstance(done.exception, DeliveryError)
+
+    def test_delivery_to_down_device_fails(self, kernel, net):
+        received = []
+        net.bind(Address("desktop", 1), received.append)
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                src=Address("phone", 1000)))
+        # the destination dies while the message is on the wire
+        net.topology.set_device_up("desktop", False)
+        kernel.run()
+        assert done.failed and not received
+        assert "down" in str(done.exception)
+
+    def test_partitioned_device_is_unreachable_until_healed(self, kernel, net):
+        received = []
+        net.bind(Address("desktop", 1), received.append)
+        net.topology.partition("desktop")
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                src=Address("phone", 1000)))
+        kernel.run()
+        assert done.failed and not received
+        net.topology.heal("desktop")
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                src=Address("phone", 1000)))
+        kernel.run()
+        assert done.succeeded and len(received) == 1
+
+
+class TestClose:
+    def test_close_is_idempotent_and_fails_pending_sends(self, kernel, net):
+        net.bind(Address("desktop", 1), lambda m: None)
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                payload=b"x" * 400000, src=Address("phone", 1000)))
+        net.close()
+        net.close()
+        assert net.closed
+        kernel.run()
+        assert done.failed
+        assert isinstance(done.exception, DeliveryError)
+
+    def test_closed_transport_refuses_bind_and_send(self, net):
+        net.close()
+        with pytest.raises(NetworkError):
+            net.bind(Address("desktop", 2), lambda m: None)
+        done = net.send(Message(kind="data", dst=Address("desktop", 1),
+                                src=Address("phone", 1000)))
+        assert done.failed

@@ -20,6 +20,7 @@ EXPECTED = {
     "custom_pipeline.py": ["placement", "realtime run delivered"],
     "monitoring_autoscaling.py": ["autoscaler decisions", "replicas"],
     "object_tracking.py": ["identities discovered", "live tracks"],
+    "chaos_fitness.py": ["device_crash -> desktop", "MTTR", "post-recovery"],
 }
 
 
