@@ -11,7 +11,7 @@ from repro.core import VideoPipe
 from repro.devices import DeviceSpec
 from repro.metrics import format_table
 
-from .conftest import DURATION_S, WARMUP_S
+from .conftest import DURATION_S, FAST, WARMUP_S
 
 
 def run_with_transport(recognizer, transport: str):
@@ -58,6 +58,8 @@ def test_brokerless_beats_brokered(benchmark, fitness_recognizer):
     benchmark.extra_info["zeromq_fps"] = round(results["zeromq"]["fps"], 2)
     benchmark.extra_info["broker_fps"] = round(results["broker"]["fps"], 2)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     # the broker relays every message through an extra device: lower FPS,
     # higher latency
     assert results["zeromq"]["fps"] > results["broker"]["fps"] * 1.05

@@ -17,6 +17,8 @@ from repro.apps import FitnessApp, fitness_pipeline_config, install_fitness_serv
 from repro.core import VideoPipe
 from repro.metrics import format_table
 
+from .conftest import FAST
+
 DURATION_S = 20.0
 
 
@@ -73,6 +75,8 @@ def test_no_queue_design_keeps_latency_flat(benchmark, fitness_recognizer):
     benchmark.extra_info["push_late_latency_ms"] = round(
         push["late_latency_ms"], 1)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     # no-queue: latency stays flat; overload is shed at the source
     assert signal["late_latency_ms"] < signal["early_latency_ms"] * 2.0
     assert signal["max_mailbox"] <= 2

@@ -13,7 +13,9 @@ from repro.core import VideoPipe
 from repro.metrics import format_table
 from repro.net import LinkSpec
 
-DURATION_S = 20.0
+from .conftest import FAST
+
+DURATION_S = 6.0 if FAST else 20.0
 
 NETWORKS = {
     "poor (20 Mbps, 8 ms)": LinkSpec(latency_s=0.008, jitter_cv=0.25,
@@ -68,6 +70,8 @@ def test_baseline_degrades_faster_on_poor_networks(benchmark,
 
     poor = results["poor (20 Mbps, 8 ms)"]
     good = results["excellent (300 Mbps, 0.5 ms)"]
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     # VideoPipe wins everywhere ...
     for r in results.values():
         assert r["videopipe"] > r["baseline"]

@@ -15,6 +15,8 @@ from repro.metrics import format_table
 from repro.motion import Squat
 from repro.pipeline import ModuleConfig, PipelineConfig
 
+from .conftest import FAST
+
 HOPS = 6
 FRAMES = 100
 
@@ -149,6 +151,8 @@ def test_reference_passing_beats_copying(benchmark):
     benchmark.extra_info["ref_per_hop_ms"] = round(ref["per_hop_ms"], 3)
     benchmark.extra_info["copy_per_hop_ms"] = round(copy["per_hop_ms"], 3)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     assert ref["frames"] == FRAMES and copy["frames"] == FRAMES
     # copying pays encode+decode per hop; references are nearly free
     assert copy["per_hop_ms"] > ref["per_hop_ms"] * 3.0

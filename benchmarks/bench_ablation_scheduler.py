@@ -15,7 +15,9 @@ from repro.metrics import format_table
 from repro.pipeline import ModuleConfig, PipelineConfig
 from repro.services import PoseDetectorService
 
-DURATION_S = 20.0
+from .conftest import FAST
+
+DURATION_S = 6.0 if FAST else 20.0
 WARMUP_S = 2.0
 
 
@@ -112,6 +114,8 @@ def test_cost_scheduler_beats_heuristic_on_replicated_services(benchmark):
     benchmark.extra_info["heuristic_fps"] = round(heuristic["fps"], 2)
     benchmark.extra_info["optimized_fps"] = round(optimized["fps"], 2)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     # the heuristic lands on the alphabetical (slow) replica
     assert heuristic["pose_device"] == "athena"
     assert optimized["pose_device"] == "zeus"

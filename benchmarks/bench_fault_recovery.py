@@ -17,9 +17,11 @@ from repro.faults import FaultPlan
 from repro.metrics import RecoveryTracker, format_table
 from repro.services import ActivityClassifierService, PoseDetectorService
 
+from .conftest import FAST
+
 CRASH_AT = 5.0
 DOWN_FOR = 6.0
-DURATION_S = 25.0
+DURATION_S = 16.0 if FAST else 25.0
 DETECTION_PERIODS = (0.25, 0.5, 1.0)
 
 
@@ -100,6 +102,8 @@ def test_fault_recovery_mttr_and_throughput_dip(benchmark, fitness_recognizer):
         benchmark.extra_info[f"post_fps_{period}s"] = round(
             report["post_fps"], 2)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     for period, report in reports.items():
         # the loop closed: fault seen, modules evacuated, stream recovered
         assert report["detections"] == 1, period

@@ -8,7 +8,7 @@ of the shared pose detector service."
 
 from repro.metrics import format_table
 
-from .conftest import run_fitness, run_shared
+from .conftest import FAST, run_fitness, run_shared
 
 SOURCE_RATES = (5.0, 10.0, 20.0)
 
@@ -25,7 +25,7 @@ def test_table2_service_sharing(benchmark, fitness_recognizer,
             f_fit, f_gest, _ = run_shared(fitness_recognizer,
                                           gesture_recognizer, fps=fps)
             shared[int(fps)] = (f_fit, f_gest)
-            solo[int(fps)], _ = run_fitness(fitness_recognizer, "videopipe",
+            solo[int(fps)], _, _ = run_fitness(fitness_recognizer, "videopipe",
                                             fps=fps)
         return shared
 
@@ -46,6 +46,8 @@ def test_table2_service_sharing(benchmark, fitness_recognizer,
         benchmark.extra_info[f"fitness_{rate}fps"] = round(f_fit, 2)
         benchmark.extra_info[f"gesture_{rate}fps"] = round(f_gest, 2)
 
+    if FAST:
+        return  # smoke mode: shape assertions need the full window
     # shape criteria:
     # 1. at 5 FPS sharing is free — both pipelines track the source
     assert abs(shared[5][0] - 5.0) < 0.7

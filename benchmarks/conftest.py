@@ -7,6 +7,8 @@ simulator itself; the *reproduction* quantities live in each benchmark's
 printed table and ``extra_info``.
 """
 
+import os
+
 import pytest
 
 from repro.apps import (
@@ -21,8 +23,13 @@ from repro.apps import (
 from repro.core import VideoPipe
 from repro.devices import DeviceSpec
 
+#: CI smoke mode (``REPRO_BENCH_FAST=1``): short simulations that exercise
+#: every benchmark's code path but skip the paper-shape assertions, whose
+#: statistics need the full measurement window.
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
 #: Simulated measurement length per configuration (seconds).
-DURATION_S = 25.0
+DURATION_S = 6.0 if FAST else 25.0
 WARMUP_S = 2.0
 
 
@@ -42,39 +49,48 @@ def gesture_camera_spec():
 
 
 def run_fitness(recognizer, architecture, fps, seed=11, duration=DURATION_S,
-                transport="zeromq", broker_device=None, pose_replicas=1):
+                transport="zeromq", broker_device=None, pose_replicas=1,
+                perf=None, static_scene=False, mode="signal"):
     """One fitness-pipeline run; returns (throughput_fps, metrics)."""
     kwargs = {"transport": transport}
     if broker_device:
         kwargs["broker_device"] = broker_device
     home = VideoPipe.paper_testbed(seed=seed, **kwargs)
+    if perf is not None:
+        home.enable_fast_path(perf)
     services = install_fitness_services(
         home, recognizer=recognizer,
         baseline_layout=(architecture == "baseline"),
         pose_replicas=pose_replicas,
     )
     app = FitnessApp(home, services, architecture=architecture)
-    pipeline = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    pipeline = app.deploy(fitness_pipeline_config(
+        fps=fps, duration_s=duration, static_scene=static_scene, mode=mode
+    ))
     home.run(until=duration + 1.0)
     throughput = pipeline.metrics.throughput_fps(duration + 1.0, WARMUP_S)
-    return throughput, pipeline.metrics
+    return throughput, pipeline.metrics, home
 
 
 def run_shared(fitness_recognizer, gesture_recognizer, fps, seed=13,
-               duration=DURATION_S, pose_replicas=1, autoscale_policy=None):
+               duration=DURATION_S, pose_replicas=1, autoscale_policy=None,
+               perf=None, fitness_mode="signal"):
     """Fitness + gesture pipelines sharing one pose service.
 
     Returns (fitness_fps, gesture_fps, home).
     """
     home = VideoPipe.paper_testbed(seed=seed)
     home.add_device(gesture_camera_spec())
+    if perf is not None:
+        home.enable_fast_path(perf)
     fitness = install_fitness_services(home, recognizer=fitness_recognizer,
                                        pose_replicas=pose_replicas)
     install_gesture_services(home, recognizer=gesture_recognizer)
     if autoscale_policy is not None:
         home.enable_autoscaling(autoscale_policy)
     app = FitnessApp(home, fitness)
-    p_fit = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration))
+    p_fit = app.deploy(fitness_pipeline_config(fps=fps, duration_s=duration,
+                                               mode=fitness_mode))
     p_gest = home.deploy_pipeline(
         gesture_pipeline_config(fps=fps, duration_s=duration)
     )

@@ -51,6 +51,7 @@ from .faults import ChaosInjector, FaultEvent, FaultPlan
 from .pipeline import (
     ModuleConfig,
     Pipeline,
+    PerfConfig,
     PipelineConfig,
     parse_pipeline_json,
     parse_pipeline_text,
@@ -75,6 +76,7 @@ __all__ = [
     "ModuleEvent",
     "NetworkError",
     "Pipeline",
+    "PerfConfig",
     "PipelineConfig",
     "PlacementError",
     "ReproError",

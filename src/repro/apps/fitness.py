@@ -105,6 +105,7 @@ def fitness_pipeline_config(
     base_port: int = 5860,
     source_device: str = "phone",
     render: bool = False,
+    static_scene: bool = False,
 ) -> PipelineConfig:
     """The Listing-1 DAG: streaming → pose → activity → {reps, display}."""
     return PipelineConfig(
@@ -122,6 +123,7 @@ def fitness_pipeline_config(
                     "duration_s": duration_s,
                     "mode": mode,
                     "render": render,
+                    "static_scene": static_scene,
                 },
             ),
             ModuleConfig(

@@ -54,6 +54,7 @@ class VideoStreamingModule(Module):
         period_s: float = 2.0,
         randomize_subject: bool = False,
         credit_timeout_s: float | None = None,
+        static_scene: bool = False,
     ) -> None:
         self.fps = fps
         self.motion = motion
@@ -65,6 +66,9 @@ class VideoStreamingModule(Module):
         self.period_s = period_s
         self.randomize_subject = randomize_subject
         self.credit_timeout_s = credit_timeout_s
+        #: Freeze the camera content after the first capture: every frame is
+        #: byte-identical (fresh ids/timestamps), the dedup/cache workload.
+        self.static_scene = static_scene
         self.source: VideoSource | None = None
 
     def init(self, ctx: ModuleContext) -> None:
@@ -76,6 +80,7 @@ class VideoStreamingModule(Module):
             subject=subject,
             render=self.render,
             rng=rng if self.render else None,
+            freeze=self.static_scene,
         )
         self.source = VideoSource(
             ctx._runtime.kernel,

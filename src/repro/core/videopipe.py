@@ -38,7 +38,7 @@ from ..net.broker import BrokeredTransport
 from ..net.link import WIFI_HOME, LinkSpec
 from ..net.topology import Topology
 from ..net.transport import BrokerlessTransport, Transport
-from ..pipeline.config import PipelineConfig
+from ..pipeline.config import PerfConfig, PipelineConfig
 from ..pipeline.deployer import Deployer
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.placement import (
@@ -87,6 +87,7 @@ class VideoPipe:
         self.orchestrator: Orchestrator | None = None
         self.injector: ChaosInjector | None = None
         self._responders: dict[str, HeartbeatResponder] = {}
+        self._perf: PerfConfig | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -113,6 +114,8 @@ class VideoPipe:
         device = Device(self.kernel, spec, self.rng)
         self.topology.attach(spec.name, "wifi")
         self.devices[spec.name] = device
+        if self._perf is not None:
+            self._apply_perf_to_device(device)
         ModuleRuntime(self.kernel, device, self._get_transport())
         if self.monitor is not None:
             self.monitor.add_probe(f"device/{spec.name}", device_probe(device))
@@ -173,6 +176,8 @@ class VideoPipe:
         else:
             device.register_service_host(host)
         self.registry.register(host)
+        if self._perf is not None:
+            self._apply_perf_to_host(host)
         if self.autoscaler is not None:
             self.autoscaler.watch(host)
         if self.monitor is not None:
@@ -180,6 +185,85 @@ class VideoPipe:
                 f"service/{service.name}@{device_name}", service_probe(host)
             )
         return host
+
+    # -- fast path -----------------------------------------------------------------
+    def enable_fast_path(self, perf: PerfConfig | None = None) -> PerfConfig:
+        """Turn on the service-layer fast path: frame dedup, result caching
+        and micro-batching, per *perf* (defaults to :class:`PerfConfig`).
+
+        Applies to every current and future device and service host. With a
+        config whose features are all off, this is a no-op and the home
+        behaves bit-for-bit like one that never called it.
+        """
+        self._perf = perf or PerfConfig()
+        for device in self.devices.values():
+            self._apply_perf_to_device(device)
+        for service_name in self.registry.service_names():
+            for host in self.registry.hosts_of(service_name):
+                self._apply_perf_to_host(host)
+        return self._perf
+
+    def _apply_perf_to_device(self, device: Device) -> None:
+        assert self._perf is not None
+        if self._perf.frame_dedup:
+            store = device.frame_store
+            store.dedup = True
+            store.retain_limit = self._perf.dedup_retain_limit
+
+    def _apply_perf_to_host(self, host: ServiceHost) -> None:
+        assert self._perf is not None
+        if self._perf.result_cache and host.service.cacheable:
+            host.enable_result_cache(
+                max_entries=self._perf.cache_max_entries,
+                ttl_s=self._perf.cache_ttl_s,
+            )
+        if self._perf.batching and host.service.max_batch > 1:
+            host.enable_batching(
+                max_batch=self._perf.max_batch,
+                max_wait_s=self._perf.max_wait_s,
+            )
+
+    def perf_stats(self) -> dict:
+        """Aggregate fast-path statistics across the home: dedup counters
+        per frame store, cache hit rates per host, and the batch-size
+        distribution. All zeros while the fast path is off."""
+        dedup = {
+            "hits": 0, "misses": 0, "bytes_saved": 0, "retained": 0,
+        }
+        for device in self.devices.values():
+            store = device.frame_store
+            dedup["hits"] += store.dedup_hits
+            dedup["misses"] += store.dedup_misses
+            dedup["bytes_saved"] += store.dedup_bytes_saved
+            dedup["retained"] += store.retained_count
+        attempts = dedup["hits"] + dedup["misses"]
+        dedup["ratio"] = dedup["hits"] / attempts if attempts else 0.0
+
+        cache = {"hits": 0, "misses": 0, "by_service": {}}
+        batching = {"dispatches": 0, "batched_items": 0, "size_counts": {}}
+        for service_name in self.registry.service_names():
+            for host in self.registry.hosts_of(service_name):
+                cache["hits"] += host.cache_hits
+                cache["misses"] += host.cache_misses
+                if host.cache_hits or host.cache_misses:
+                    entry = cache["by_service"].setdefault(
+                        service_name, {"hits": 0, "misses": 0}
+                    )
+                    entry["hits"] += host.cache_hits
+                    entry["misses"] += host.cache_misses
+                for size, count in host.batch_size_counts.items():
+                    batching["dispatches"] += count
+                    batching["batched_items"] += size * count
+                    batching["size_counts"][size] = (
+                        batching["size_counts"].get(size, 0) + count
+                    )
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        batching["avg_batch_size"] = (
+            batching["batched_items"] / batching["dispatches"]
+            if batching["dispatches"] else 1.0
+        )
+        return {"dedup": dedup, "cache": cache, "batching": batching}
 
     def enable_monitoring(self, period_s: float = 0.5) -> Monitor:
         """Turn on the §7 future-work monitor: every current and future

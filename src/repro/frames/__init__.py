@@ -10,6 +10,7 @@ from .codec import (
     jpeg_size_model,
     psnr,
 )
+from .digest import content_digest
 from .frame import FrameRef, VideoFrame
 from .framestore import FrameStore
 from .synthetic import (
@@ -29,6 +30,7 @@ __all__ = [
     "SyntheticCamera",
     "VideoFrame",
     "VideoSource",
+    "content_digest",
     "decode_frame",
     "detect_foreground_bbox",
     "encode_frame",

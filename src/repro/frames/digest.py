@@ -1,0 +1,129 @@
+"""Cheap content digests for frames and service payloads.
+
+Static scenes dominate real camera feeds: consecutive frames are often
+byte-identical in *content* even though each capture gets a fresh frame id
+and timestamp. A content digest makes that redundancy actionable — the
+frame store uses it to collapse byte-identical frames into one stored
+object (dedup), and the service layer uses it to key a result cache so a
+repeated frame skips inference entirely.
+
+A digest deliberately covers only what inference sees: geometry, pixels,
+the annotated ground-truth pose, and metadata. Capture bookkeeping
+(``frame_id``, ``capture_time``) is excluded — two frames of the same
+scene hash equal no matter when they were taken.
+
+:func:`content_digest` returns ``None`` for objects it cannot hash
+deterministically; callers treat those as unique (never deduped, never
+cached).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+import numpy as np
+
+from ..motion.skeleton import Pose
+from .codec import EncodedFrame
+from .frame import FrameRef, VideoFrame
+
+#: blake2b digest width; 16 bytes is collision-safe for any plausible
+#: number of in-flight frames and keeps keys short.
+DIGEST_BYTES = 16
+
+#: Optional resolver mapping a FrameRef leaf to the digest of the object it
+#: points at (the frame store provides this); without one, payloads
+#: containing refs are undigestable.
+RefResolver = Callable[[FrameRef], "str | None"]
+
+
+def _feed_array(hasher, arr: np.ndarray) -> None:
+    hasher.update(str(arr.dtype).encode())
+    hasher.update(str(arr.shape).encode())
+    hasher.update(np.ascontiguousarray(arr).tobytes())
+
+
+def _feed(hasher, obj: Any, resolve_ref: RefResolver | None) -> bool:
+    """Feed *obj* into *hasher*; False means the object is undigestable."""
+    if obj is None:
+        hasher.update(b"\x00N")
+        return True
+    if isinstance(obj, bool):
+        hasher.update(b"\x00b1" if obj else b"\x00b0")
+        return True
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        hasher.update(b"\x00n" + repr(obj).encode())
+        return True
+    if isinstance(obj, str):
+        hasher.update(b"\x00s" + obj.encode())
+        return True
+    if isinstance(obj, bytes):
+        hasher.update(b"\x00y" + obj)
+        return True
+    if isinstance(obj, np.ndarray):
+        hasher.update(b"\x00a")
+        _feed_array(hasher, obj)
+        return True
+    if isinstance(obj, Pose):
+        hasher.update(b"\x00p")
+        _feed_array(hasher, np.asarray(obj.keypoints))
+        _feed_array(hasher, np.asarray(obj.visibility))
+        return True
+    if isinstance(obj, VideoFrame):
+        hasher.update(b"\x00F")
+        hasher.update(f"{obj.width}x{obj.height}x{obj.channels}".encode())
+        if obj.pixels is not None:
+            _feed_array(hasher, obj.pixels)
+        else:
+            hasher.update(b"-")
+        if obj.truth is not None and not _feed(hasher, obj.truth, resolve_ref):
+            return False
+        return _feed(hasher, obj.metadata, resolve_ref)
+    if isinstance(obj, EncodedFrame):
+        # the quantized carried frame *is* the wire content; quality matters
+        # because different qualities decode to different pixels
+        hasher.update(b"\x00E" + str(obj.quality).encode())
+        return _feed(hasher, obj.frame, resolve_ref)
+    if isinstance(obj, FrameRef):
+        if resolve_ref is None:
+            return False
+        digest = resolve_ref(obj)
+        if digest is None:
+            return False
+        hasher.update(b"\x00r" + digest.encode())
+        return True
+    if isinstance(obj, dict):
+        hasher.update(b"\x00d")
+        try:
+            items = sorted(obj.items())
+        except TypeError:
+            return False
+        for key, value in items:
+            if not _feed(hasher, key, resolve_ref):
+                return False
+            if not _feed(hasher, value, resolve_ref):
+                return False
+        return True
+    if isinstance(obj, (list, tuple)):
+        hasher.update(b"\x00l" if isinstance(obj, list) else b"\x00t")
+        for item in obj:
+            if not _feed(hasher, item, resolve_ref):
+                return False
+        return True
+    return False  # arbitrary object: no stable byte representation
+
+
+def content_digest(
+    obj: Any, resolve_ref: RefResolver | None = None
+) -> str | None:
+    """Hex digest of *obj*'s content, or ``None`` if undigestable.
+
+    Byte-identical content (pixels, poses, arrays, nested containers)
+    digests equal; ``frame_id`` and ``capture_time`` are excluded so
+    repeated captures of a static scene collide on purpose.
+    """
+    hasher = hashlib.blake2b(digest_size=DIGEST_BYTES)
+    if _feed(hasher, obj, resolve_ref):
+        return hasher.hexdigest()
+    return None

@@ -1,4 +1,4 @@
-"""Device-local frame stores with reference counting.
+"""Device-local frame stores with reference counting and content dedup.
 
 The paper minimizes data copying by handing modules a *reference id* instead
 of the frame: "The module code can use that id to do the modifications on
@@ -7,47 +7,121 @@ the image using the services and forward the frames to other modules" (§3).
 parked once per device, co-located modules and services share them by
 :class:`~repro.frames.frame.FrameRef`, and refcounts reclaim slots when the
 last holder releases.
+
+With ``dedup`` enabled the store is additionally *content-addressed* for
+frames: a byte-identical :class:`~repro.frames.frame.VideoFrame` resolves
+to the already-stored object (one slot, one refcount pool), which is what
+makes static scenes nearly free downstream. Deduped objects whose refcount
+hits zero are *retained* for a while (up to ``retain_limit`` entries) so the
+next identical capture still hits; retained entries are the first thing
+evicted under capacity pressure.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Callable
 
 from ..errors import FrameStoreError
-from .frame import FrameRef
+from .digest import content_digest
+from .frame import FrameRef, VideoFrame
+
+#: An eviction hook: called as ``hook(store, needed_slots)`` when the store
+#: is full; returns how many slots it freed (by releasing its own holds).
+EvictionHook = Callable[["FrameStore", int], int]
 
 
 class FrameStore:
-    """A per-device object store keyed by reference id."""
+    """A per-device object store keyed by reference id.
 
-    def __init__(self, device: str, capacity: int = 256) -> None:
+    Args:
+        device: owning device name (refs never cross devices).
+        capacity: maximum simultaneously stored objects (live + retained).
+        dedup: content-address byte-identical :class:`VideoFrame` objects.
+        retain_limit: with dedup on, how many zero-refcount frames to keep
+            around as dedup targets before reclaiming the oldest.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        capacity: int = 256,
+        dedup: bool = False,
+        retain_limit: int = 32,
+    ) -> None:
         if capacity < 1:
             raise FrameStoreError("capacity must be >= 1")
+        if retain_limit < 0:
+            raise FrameStoreError("retain_limit must be >= 0")
         self.device = device
         self.capacity = capacity
+        self.dedup = dedup
+        self.retain_limit = retain_limit
         self._ids = itertools.count(1)
         self._objects: dict[int, Any] = {}
         self._refcounts: dict[int, int] = {}
-        # statistics for the ref-passing ablation
+        #: ref_id -> content digest (memoized; None = undigestable).
+        self._digests: dict[int, str | None] = {}
+        #: digest -> ref_id for dedup lookups (frames only).
+        self._by_digest: dict[str, int] = {}
+        #: zero-refcount entries kept alive as dedup targets (LRU by
+        #: release order; value unused).
+        self._retained: OrderedDict[int, None] = OrderedDict()
+        self._eviction_hooks: list[EvictionHook] = []
+        # statistics for the ref-passing and dedup ablations
         self.stored_count = 0
         self.resolved_count = 0
         self.peak_occupancy = 0
+        self.dedup_hits = 0
+        self.dedup_misses = 0
+        self.dedup_bytes_saved = 0
+        self.retained_evictions = 0
+        self.hook_evictions = 0
 
     def __len__(self) -> int:
         return len(self._objects)
 
+    @property
+    def live_count(self) -> int:
+        """Objects with at least one holder."""
+        return len(self._objects) - len(self._retained)
+
+    @property
+    def retained_count(self) -> int:
+        """Zero-refcount objects kept as dedup targets."""
+        return len(self._retained)
+
     # -- core protocol -------------------------------------------------------
     def put(self, obj: Any) -> FrameRef:
-        """Park *obj* and return a reference with refcount 1."""
+        """Park *obj* and return a reference with refcount 1.
+
+        With dedup enabled, a byte-identical frame resolves to the existing
+        stored object instead of taking a new slot.
+        """
+        digest: str | None = None
+        if self.dedup and isinstance(obj, VideoFrame):
+            digest = content_digest(obj)
+            if digest is not None:
+                existing = self._by_digest.get(digest)
+                if existing is not None:
+                    self.dedup_hits += 1
+                    self.dedup_bytes_saved += obj.raw_size
+                    if existing in self._retained:
+                        del self._retained[existing]
+                        self._refcounts[existing] = 1
+                    else:
+                        self._refcounts[existing] += 1
+                    return FrameRef(self.device, existing)
+            self.dedup_misses += 1
         if len(self._objects) >= self.capacity:
-            raise FrameStoreError(
-                f"frame store on {self.device!r} full ({self.capacity} slots); "
-                "a module is leaking references"
-            )
+            self._make_room()
         ref_id = next(self._ids)
         self._objects[ref_id] = obj
         self._refcounts[ref_id] = 1
+        if digest is not None:
+            self._digests[ref_id] = digest
+            self._by_digest[digest] = ref_id
         self.stored_count += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._objects))
         return FrameRef(self.device, ref_id)
@@ -65,29 +139,115 @@ class FrameStore:
         return ref
 
     def release(self, ref: FrameRef) -> None:
-        """Drop one hold; the object is reclaimed when the count hits zero."""
+        """Drop one hold; the object is reclaimed when the count hits zero
+        (or retained as a dedup target when dedup is on)."""
         self._check(ref)
-        self._refcounts[ref.ref_id] -= 1
-        if self._refcounts[ref.ref_id] == 0:
-            del self._objects[ref.ref_id]
-            del self._refcounts[ref.ref_id]
+        ref_id = ref.ref_id
+        self._refcounts[ref_id] -= 1
+        if self._refcounts[ref_id] == 0:
+            if (
+                self.dedup
+                and self.retain_limit > 0
+                and self._digests.get(ref_id) is not None
+            ):
+                self._retained[ref_id] = None
+                while len(self._retained) > self.retain_limit:
+                    oldest, _ = self._retained.popitem(last=False)
+                    self.retained_evictions += 1
+                    self._delete(oldest)
+            else:
+                self._delete(ref_id)
 
     def refcount(self, ref: FrameRef) -> int:
         self._check(ref)
         return self._refcounts[ref.ref_id]
 
     def contains(self, ref: FrameRef) -> bool:
-        return ref.device == self.device and ref.ref_id in self._objects
+        return (
+            ref.device == self.device
+            and ref.ref_id in self._objects
+            and ref.ref_id not in self._retained
+        )
+
+    # -- content addressing ----------------------------------------------------
+    def digest_of(self, ref: FrameRef) -> str | None:
+        """Content digest of the referenced object (memoized; ``None`` when
+        the object has no stable byte representation)."""
+        self._check(ref)
+        ref_id = ref.ref_id
+        if ref_id not in self._digests:
+            self._digests[ref_id] = content_digest(self._objects[ref_id])
+        return self._digests[ref_id]
+
+    def dedup_ratio(self) -> float:
+        """Fraction of dedup-eligible puts that hit an existing object."""
+        attempts = self.dedup_hits + self.dedup_misses
+        if attempts == 0:
+            return 0.0
+        return self.dedup_hits / attempts
+
+    # -- capacity pressure ----------------------------------------------------
+    def add_eviction_hook(self, hook: EvictionHook) -> None:
+        """Register a hook consulted when the store is full. Hooks free
+        slots by releasing holds they own (e.g. a cache dropping pinned
+        entries) and return the number of slots they freed."""
+        self._eviction_hooks.append(hook)
+
+    def _make_room(self) -> None:
+        """Free at least one slot or raise the leak diagnostic."""
+        # retained dedup targets are pure cache: reclaim oldest first
+        while self._retained and len(self._objects) >= self.capacity:
+            oldest, _ = self._retained.popitem(last=False)
+            self.retained_evictions += 1
+            self._delete(oldest)
+        needed = len(self._objects) - self.capacity + 1
+        if needed > 0:
+            for hook in self._eviction_hooks:
+                freed = hook(self, needed)
+                self.hook_evictions += max(0, freed)
+                needed = len(self._objects) - self.capacity + 1
+                if needed <= 0:
+                    break
+        if len(self._objects) >= self.capacity:
+            raise FrameStoreError(
+                f"frame store on {self.device!r} full ({self.capacity} slots,"
+                f" {self.retained_count} retained); a module is leaking"
+                f" references — top holders: {self._top_holders()}"
+            )
+
+    def _top_holders(self, limit: int = 5) -> str:
+        """The highest-refcount entries, for the leak diagnostic."""
+        live = sorted(
+            ((count, ref_id) for ref_id, count in self._refcounts.items()
+             if count > 0),
+            reverse=True,
+        )[:limit]
+        if not live:
+            return "none (all retained)"
+        return ", ".join(
+            f"#{ref_id} {type(self._objects[ref_id]).__name__} x{count}"
+            for count, ref_id in live
+        )
 
     # -- helpers ---------------------------------------------------------------
+    def _delete(self, ref_id: int) -> None:
+        del self._objects[ref_id]
+        del self._refcounts[ref_id]
+        digest = self._digests.pop(ref_id, None)
+        if digest is not None and self._by_digest.get(digest) == ref_id:
+            del self._by_digest[digest]
+
     def _check(self, ref: FrameRef) -> None:
         if ref.device != self.device:
             raise FrameStoreError(
                 f"reference {ref} belongs to device {ref.device!r}; this store"
                 f" is on {self.device!r} — frame refs never cross devices"
             )
-        if ref.ref_id not in self._objects:
+        if ref.ref_id not in self._objects or ref.ref_id in self._retained:
             raise FrameStoreError(f"unknown or already-released reference {ref}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<FrameStore {self.device} {len(self._objects)}/{self.capacity}>"
+        return (
+            f"<FrameStore {self.device} {self.live_count}"
+            f"+{self.retained_count}r/{self.capacity}>"
+        )

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..motion.exercises import MotionModel
+from ..motion.skeleton import Pose
 from ..motion.trajectory import SubjectParams, subject_pose
 from ..sim.kernel import Kernel
 from .frame import VideoFrame
@@ -32,6 +33,12 @@ class SyntheticCamera:
     pose service adds estimation noise and simulated compute). With
     ``render=True`` frames also carry real rendered pixels at
     ``render_size`` resolution, exercising the pixel path end to end.
+
+    ``freeze=True`` models a **static scene** (an empty room, a parked
+    subject): the content of the first capture is reused for every
+    subsequent frame, so all frames are byte-identical in content while
+    still carrying fresh ids and timestamps — the workload the frame-dedup
+    and result-cache fast path is built for.
     """
 
     def __init__(
@@ -44,6 +51,7 @@ class SyntheticCamera:
         render: bool = False,
         render_size: tuple[int, int] = (160, 120),
         rng: np.random.Generator | None = None,
+        freeze: bool = False,
     ) -> None:
         self.device = device
         self.motion = motion
@@ -53,9 +61,10 @@ class SyntheticCamera:
         self.render = render
         self.render_size = render_size
         self.rng = rng
+        self.freeze = freeze
+        self._frozen: tuple[Pose, np.ndarray | None] | None = None
 
-    def capture(self, frame_id: int, t: float) -> VideoFrame:
-        """Produce the frame the camera sees at simulated time *t*."""
+    def _content_at(self, t: float) -> "tuple[Pose, np.ndarray | None]":
         truth = subject_pose(self.motion, self.subject, t)
         pixels = None
         if self.render:
@@ -65,6 +74,16 @@ class SyntheticCamera:
             pixels = render_pose(
                 scaled, self.render_size[0], self.render_size[1], rng=self.rng
             )
+        return truth, pixels
+
+    def capture(self, frame_id: int, t: float) -> VideoFrame:
+        """Produce the frame the camera sees at simulated time *t*."""
+        if self.freeze:
+            if self._frozen is None:
+                self._frozen = self._content_at(t)
+            truth, pixels = self._frozen
+        else:
+            truth, pixels = self._content_at(t)
         return VideoFrame(
             frame_id=frame_id,
             source=self.device,

@@ -63,6 +63,22 @@ def summarize(values) -> Summary:
     )
 
 
+def weighted_mean(counts: dict) -> float:
+    """Mean of a value -> count histogram (0.0 when empty). Used for the
+    batch-size distributions the fast-path ablation reports."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return sum(value * count for value, count in counts.items()) / total
+
+
+def format_histogram(counts: dict) -> str:
+    """Render a value -> count histogram compactly: ``1:x12 4:x3``."""
+    if not counts:
+        return "-"
+    return " ".join(f"{value}:x{counts[value]}" for value in sorted(counts))
+
+
 class RateMeter:
     """Counts events over simulated time; reports steady-state rates.
 

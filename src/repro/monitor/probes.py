@@ -34,11 +34,15 @@ def device_probe(device: Device) -> ProbeFn:
     """CPU occupancy and frame-store pressure for one device."""
 
     def read() -> dict[str, float]:
+        store = device.frame_store
         return {
             "cpu_in_use": float(device.cpu.cores.in_use),
             "cpu_queue": float(device.cpu.cores.queue_length),
             "cpu_utilization": device.cpu.utilization(),
-            "frame_store_used": float(len(device.frame_store)),
+            "frame_store_used": float(len(store)),
+            "frame_store_retained": float(store.retained_count),
+            "dedup_hits": float(store.dedup_hits),
+            "dedup_ratio": store.dedup_ratio(),
         }
 
     return read
@@ -54,6 +58,9 @@ def service_probe(host: ServiceHost) -> ProbeFn:
             "replicas": float(host.replicas),
             "utilization": host.utilization(),
             "errors": float(host.errors),
+            "cache_hits": float(host.cache_hits),
+            "cache_hit_rate": host.cache_hit_rate(),
+            "avg_batch_size": host.avg_batch_size(),
         }
 
     return read

@@ -1,6 +1,6 @@
 """Pipeline configuration, validation, placement and deployment."""
 
-from .config import ModuleConfig, PipelineConfig, config_from_dict
+from .config import ModuleConfig, PerfConfig, PipelineConfig, config_from_dict
 from .dag import (
     build_graph,
     longest_path,
@@ -34,6 +34,7 @@ __all__ = [
     "plan_cost_optimized",
     "ModuleConfig",
     "Pipeline",
+    "PerfConfig",
     "PipelineConfig",
     "PlacementPlan",
     "SINGLE_HOST",

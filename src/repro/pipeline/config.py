@@ -46,6 +46,57 @@ class ModuleConfig:
 
 
 @dataclass(slots=True)
+class PerfConfig:
+    """Knobs for the service-layer fast path (dedup, caching, batching).
+
+    Applied home-wide via :meth:`repro.core.videopipe.VideoPipe.enable_fast_path`.
+    All defaults reflect the paper's edge workload: dedup and the result
+    cache on (static scenes are common), batching off (it only pays when a
+    service is shared across pipelines).
+
+    Attributes:
+        frame_dedup: content-address device frame stores, collapsing
+            byte-identical frames into one stored object.
+        dedup_retain_limit: zero-refcount frames kept per store as dedup
+            targets (0 disables retention).
+        result_cache: attach a result cache to hosts of ``cacheable``
+            services; repeated requests skip execution entirely.
+        cache_max_entries: LRU capacity per host.
+        cache_ttl_s: result expiry in simulated seconds (``None`` = never).
+        batching: let hosts coalesce queued requests into batches for
+            services with ``max_batch > 1``.
+        max_batch: host-side cap on the batch size.
+        max_wait_s: longest a request waits for batch companions.
+    """
+
+    frame_dedup: bool = True
+    dedup_retain_limit: int = 32
+    result_cache: bool = True
+    cache_max_entries: int = 512
+    cache_ttl_s: float | None = None
+    batching: bool = False
+    max_batch: int = 4
+    max_wait_s: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.dedup_retain_limit < 0:
+            raise ConfigError("dedup_retain_limit must be >= 0")
+        if self.cache_max_entries < 1:
+            raise ConfigError("cache_max_entries must be >= 1")
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
+            raise ConfigError("cache_ttl_s must be positive")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ConfigError("max_wait_s must be >= 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        """Whether this config turns on any fast-path feature at all."""
+        return self.frame_dedup or self.result_cache or self.batching
+
+
+@dataclass(slots=True)
 class PipelineConfig:
     """A whole application: its module DAG plus the designated source.
 

@@ -81,7 +81,14 @@ class ModuleContext:
                 f" {service_name!r} in its configuration"
             )
         self.metrics.increment(f"service_calls.{service_name}")
-        return stub.call(payload)
+        # local cache hits resolve synchronously inside call(), so a counter
+        # snapshot attributes them to this pipeline's metrics
+        host = getattr(stub, "host", None)
+        hits_before = host.cache_hits if host is not None else 0
+        signal = stub.call(payload)
+        if host is not None and host.cache_hits > hits_before:
+            self.metrics.increment(f"service_cache_hits.{service_name}")
+        return signal
 
     def has_service(self, service_name: str) -> bool:
         return service_name in self._stubs

@@ -9,6 +9,7 @@ from .balancer import (
     select_host,
 )
 from .base import FunctionService, Service, ServiceCallContext
+from .cache import MISS, ResultCache, payload_cache_key
 from .builtin import (
     ActivityClassifierService,
     ActuationEvent,
@@ -53,11 +54,13 @@ __all__ = [
     "ImageClassificationService",
     "LEAST_LOADED",
     "LocalServiceStub",
+    "MISS",
     "ObjectDetectionService",
     "ObjectTrackingService",
     "PoseDetectorService",
     "RemoteServiceStub",
     "RepCounterService",
+    "ResultCache",
     "ScalingEvent",
     "ScalingPolicy",
     "Service",
@@ -69,5 +72,6 @@ __all__ = [
     "expected_service_time",
     "host_is_live",
     "make_stub",
+    "payload_cache_key",
     "select_host",
 ]

@@ -22,9 +22,20 @@ LEAST_LOADED = "least_loaded"
 POLICIES = (FIRST, FASTEST, LEAST_LOADED)
 
 
-def expected_service_time(host: ServiceHost) -> float:
-    """Expected compute seconds for one call on this host's device."""
-    return host.device.spec.compute_time(host.service.reference_cost_s)
+def expected_service_time(
+    host: ServiceHost, batch_size: float | None = None
+) -> float:
+    """Expected compute seconds for one call on this host's device.
+
+    Batching amortizes per-call overhead, so the per-item estimate shrinks
+    with batch size: by default the host's *observed* mean dispatch size is
+    used (1.0 on a host that has never batched, reproducing the unbatched
+    estimate exactly); pass *batch_size* to ask about a hypothetical load.
+    """
+    n = batch_size if batch_size is not None else host.avg_batch_size()
+    return host.device.spec.compute_time(
+        host.service.amortized_item_cost_s(n)
+    )
 
 
 def host_is_live(host: ServiceHost) -> bool:

@@ -54,6 +54,19 @@ class Service:
     reference_cost_s = 0.010
     #: Default port the service binds when hosted (offset per replica).
     default_port = 7000
+    #: A pure function of its payload: byte-identical requests may be
+    #: answered from a host-side result cache without running the handler.
+    #: Services with side effects (rendering a display, driving an IoT
+    #: device) must leave this off.
+    cacheable = False
+    #: Largest batch :meth:`handle_batch` accepts; 1 means the service only
+    #: processes requests one at a time (hosts never batch it).
+    max_batch = 1
+    #: Marginal cost of each additional item in a batch, as a fraction of
+    #: its solo cost. 1.0 = no amortization (a batch costs the exact sum of
+    #: its items); a GPU-style service with heavy per-call setup sets this
+    #: well below 1.
+    batch_marginal_cost_frac = 1.0
 
     def handle(self, payload: Any, ctx: ServiceCallContext) -> Any:
         """Process one request; must not retain state on ``self``."""
@@ -62,6 +75,32 @@ class Service:
     def compute_cost(self, payload: Any) -> float:
         """Reference compute seconds for this payload (default: constant)."""
         return self.reference_cost_s
+
+    # -- batching protocol ------------------------------------------------------
+    def handle_batch(self, payloads: list[Any], ctx: ServiceCallContext) -> list[Any]:
+        """Process several requests in one invocation, returning one result
+        per payload in order. Default: loop :meth:`handle` (correct for any
+        service; the win comes from :meth:`batch_compute_cost`)."""
+        return [self.handle(payload, ctx) for payload in payloads]
+
+    def batch_compute_cost(self, payloads: list[Any]) -> float:
+        """Reference compute seconds for one batched invocation.
+
+        The first item pays full price; each further item pays
+        ``batch_marginal_cost_frac`` of its solo cost — the shared per-call
+        overhead (model load, data staging) is paid once.
+        """
+        if not payloads:
+            return 0.0
+        costs = [self.compute_cost(p) for p in payloads]
+        return costs[0] + self.batch_marginal_cost_frac * sum(costs[1:])
+
+    def amortized_item_cost_s(self, batch_size: float = 1.0) -> float:
+        """Expected per-item reference cost at a given mean batch size
+        (used by the balancer's expected-service-time estimate)."""
+        n = min(max(batch_size, 1.0), float(self.max_batch))
+        frac = self.batch_marginal_cost_frac
+        return self.reference_cost_s * (1.0 + frac * (n - 1.0)) / n
 
     def describe(self) -> dict[str, Any]:
         """Human-readable service card (used in logs and docs)."""

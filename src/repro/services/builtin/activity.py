@@ -27,6 +27,11 @@ class ActivityClassifierService(Service):
     name = "activity_classifier"
     reference_cost_s = 0.006
     default_port = 7002
+    # deterministic kNN over the shipped feature: safe to cache, and the
+    # distance computation vectorizes across a batch
+    cacheable = True
+    max_batch = 8
+    batch_marginal_cost_frac = 0.7
 
     def __init__(self, recognizer: ActivityRecognizer) -> None:
         if not recognizer.fitted:

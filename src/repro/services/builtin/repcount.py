@@ -27,6 +27,8 @@ class RepCounterService(Service):
     reference_cost_s = 0.002  # base; see compute_cost
     per_frame_cost_s = 4.0e-6
     default_port = 7003
+    # deterministic clustering (fixed seed) over the shipped feature matrix
+    cacheable = True
 
     def __init__(self, debounce: int = DEBOUNCE_FRAMES, seed: int = 0) -> None:
         self.counter = RepCounter(debounce=debounce, seed=seed)

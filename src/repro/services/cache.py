@@ -1,0 +1,136 @@
+"""Per-host service result caching keyed by payload content.
+
+LLAMA-style observation: on edge feeds dominated by static scenes, the
+single biggest service-layer win is *not running the service at all*. A
+:class:`ResultCache` lives on one :class:`~repro.services.host.ServiceHost`
+and maps ``(service, payload content, params)`` to the previous result, so
+a byte-identical request resolves instantly — zero queueing, zero simulated
+CPU — on both the local and RPC call paths.
+
+Keys come from :func:`payload_cache_key`: a content digest over the request
+payload in which frame references are replaced by the digest of the frame
+they point at (so the key is stable across reference ids) and every other
+leaf — parameters included — is hashed by value. Payloads containing
+undigestable leaves get no key and are never cached.
+
+Only services that declare ``cacheable = True`` participate: caching is a
+*semantic* contract (the service is a pure function of its payload, side
+effects excluded), not something a host can infer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from ..errors import ServiceError
+from ..frames.digest import content_digest
+from ..frames.framestore import FrameStore
+
+#: Returned by :meth:`ResultCache.lookup` on a miss (``None`` is a valid
+#: cached value, so a sentinel is required).
+MISS = object()
+
+
+def payload_cache_key(
+    service_name: str, payload: Any, store: FrameStore | None = None
+) -> str | None:
+    """A cache key for one service request, or ``None`` if uncacheable.
+
+    ``store`` resolves :class:`~repro.frames.frame.FrameRef` leaves to
+    content digests (the local call path); wire payloads carry
+    :class:`~repro.frames.codec.EncodedFrame` leaves which digest directly.
+    """
+    resolver = None
+    if store is not None:
+        def resolver(ref):
+            try:
+                return store.digest_of(ref)
+            except Exception:
+                return None  # foreign/released ref: treat as uncacheable
+    digest = content_digest(payload, resolve_ref=resolver)
+    if digest is None:
+        return None
+    return f"{service_name}:{digest}"
+
+
+class ResultCache:
+    """A bounded LRU of service results with optional TTL.
+
+    Entries expire ``ttl_s`` simulated seconds after insertion (``None`` =
+    never); :meth:`invalidate` supports explicit invalidation, e.g. after a
+    model update or a host restart.
+    """
+
+    def __init__(self, max_entries: int = 512, ttl_s: float | None = None) -> None:
+        if max_entries < 1:
+            raise ServiceError("cache max_entries must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ServiceError("cache ttl_s must be positive")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._entries: OrderedDict[str, tuple[Any, float]] = OrderedDict()
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- protocol --------------------------------------------------------------
+    def lookup(self, key: str, now: float) -> Any:
+        """The cached value for *key*, or the :data:`MISS` sentinel."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return MISS
+        value, stored_at = entry
+        if self.ttl_s is not None and now - stored_at > self.ttl_s:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key: str, value: Any, now: float) -> None:
+        """Insert (or refresh) *key*; evicts the LRU entry when over size."""
+        self._entries[key] = (value, now)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, prefix: str | None = None) -> int:
+        """Drop entries (all, or those whose key starts with *prefix*);
+        returns how many were removed."""
+        if prefix is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            doomed = [k for k in self._entries if k.startswith(prefix)]
+            for key in doomed:
+                del self._entries[key]
+            removed = len(doomed)
+        self.invalidations += removed
+        return removed
+
+    # -- introspection ----------------------------------------------------------
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ResultCache {len(self._entries)}/{self.max_entries}"
+            f" hit_rate={self.hit_rate():.2f}>"
+        )

@@ -22,6 +22,7 @@ with a fresh pool. :meth:`close` is the orderly, idempotent teardown.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any
 
 from ..devices.device import Device
@@ -31,11 +32,31 @@ from ..net.address import Address
 from ..net.message import Message
 from ..net.rpc import RpcServer
 from ..net.transport import Transport
+from ..sim.events import Event
 from ..sim.kernel import Kernel
 from ..sim.process import Process
 from ..sim.resources import Resource
 from ..sim.signals import Signal
 from .base import Service, ServiceCallContext
+from .cache import MISS, ResultCache, payload_cache_key
+
+
+class _BatchItemError:
+    """Marks one poisoned item inside an otherwise-successful batch."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: Exception) -> None:
+        self.exc = exc
+
+
+#: After this many consecutive company-timer probes that dispatched solo,
+#: the batcher stops waiting for company (lone requests go out at once)...
+SOLO_PROBE_LIMIT = 4
+#: ...and after this many immediate solo dispatches it probes again, in
+#: case the workload has become batchable. Bounds the worst-case latency
+#: waste on unbatchable traffic to a few ms per hundred requests.
+SOLO_RETRY_AFTER = 64
 
 
 class ServiceHost:
@@ -73,6 +94,21 @@ class ServiceHost:
         self._inflight: dict[Signal, Process] = {}
         self.up = True
         self._closed = False
+        # fast-path state (both off by default: the seed call path)
+        self._cache: ResultCache | None = None
+        self._batch_max = 1
+        self._batch_wait_s = 0.0
+        #: queued-but-not-dispatched requests awaiting batch formation:
+        #: (payload, decode_cost, done, cache_key, enqueued_at).
+        self._batch_pending: list[
+            tuple[Any, float, Signal, str | None, float]
+        ] = []
+        self._batch_timer: Event | None = None
+        #: True while the armed timer is a company *probe* (positive wait),
+        #: as opposed to a zero-delay coalescing flush.
+        self._batch_probe = False
+        self._solo_streak = 0
+        self._solo_immediate = 0
         # statistics
         self.local_calls = 0
         self.remote_calls = 0
@@ -81,6 +117,11 @@ class ServiceHost:
         self.dropped_in_flight = 0
         self.total_busy_s = 0.0
         self.total_wait_s = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batched_calls = 0
+        #: dispatch-size histogram (only populated while batching is on).
+        self.batch_size_counts: Counter[int] = Counter()
 
     @property
     def service_name(self) -> str:
@@ -96,39 +137,126 @@ class ServiceHost:
         self._replica_target += count
         self.workers.grow(count)
 
+    # -- fast path configuration -------------------------------------------------
+    def enable_result_cache(
+        self, max_entries: int = 512, ttl_s: float | None = None
+    ) -> None:
+        """Attach a result cache. Effective only for services that declare
+        ``cacheable = True``; on them, a byte-identical repeated request is
+        answered instantly with zero simulated CPU."""
+        self._cache = ResultCache(max_entries=max_entries, ttl_s=ttl_s)
+
+    def enable_batching(self, max_batch: int = 4, max_wait_s: float = 0.004) -> None:
+        """Coalesce queued requests into batches of up to *max_batch*
+        (bounded also by the service's own ``max_batch``), waiting at most
+        *max_wait_s* for company. Requests arriving at an idle host still
+        dispatch immediately — batching only engages under contention."""
+        if max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ServiceError("max_wait_s must be >= 0")
+        self._batch_max = max_batch
+        self._batch_wait_s = max_wait_s
+
+    def invalidate_cache(self) -> int:
+        """Explicitly drop all cached results (e.g. after a model update);
+        returns how many entries were removed."""
+        if self._cache is None:
+            return 0
+        return self._cache.invalidate()
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        return self._cache
+
+    @property
+    def batch_wait_s(self) -> float:
+        """Worst-case extra latency the batcher may add (0 when off)."""
+        if self._effective_max_batch() > 1:
+            return self._batch_wait_s
+        return 0.0
+
+    def _effective_max_batch(self) -> int:
+        return min(self._batch_max, self.service.max_batch)
+
+    def _cache_key(self, payload: Any, use_store: bool) -> str | None:
+        if self._cache is None or not self.service.cacheable:
+            return None
+        return payload_cache_key(
+            self.service_name, payload,
+            store=self.device.frame_store if use_store else None,
+        )
+
+    def _cache_lookup(self, key: str | None) -> Any:
+        """Look up *key*; returns MISS when absent/uncacheable. Counts only
+        keyed requests toward the hit/miss stats."""
+        if key is None or self._cache is None:
+            return MISS
+        value = self._cache.lookup(key, self.kernel.now)
+        if value is MISS:
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+        return value
+
     # -- call paths -----------------------------------------------------------
     def call_local(self, payload: Any) -> Signal:
-        """Co-located call: refs resolve in-place, nothing is serialized."""
+        """Co-located call: refs resolve in-place, nothing is serialized.
+
+        With a result cache attached, a repeated payload returns an
+        already-succeeded signal: no worker, no queueing, no simulated CPU.
+        """
         self.local_calls += 1
         if not self.up:
             self.errors += 1
             return self.kernel.signal(name=f"{self.service_name}.call").fail(
                 ServiceError(f"{self.service_name}@{self.device.name} is down")
             )
-        return self._execute(payload, decode_cost=0.0)
+        key = self._cache_key(payload, use_store=True)
+        cached = self._cache_lookup(key)
+        if cached is not MISS:
+            return self.kernel.signal(
+                name=f"{self.service_name}.call"
+            ).succeed(cached)
+        return self._submit(payload, decode_cost=0.0, key=key)
 
     def _handle_remote(self, payload: Any, message: Message) -> Signal:
-        """Remote call: pay frame decode before the service sees the data."""
+        """Remote call: pay frame decode before the service sees the data.
+
+        The cache key is computed over the *wire* payload, so a repeated
+        request skips the decode as well as the service execution.
+        """
         self.remote_calls += 1
         if not self.up:  # crash raced an in-flight request
             self.errors += 1
             return self.kernel.signal(name=f"{self.service_name}.call").fail(
                 ServiceError(f"{self.service_name}@{self.device.name} is down")
             )
+        key = self._cache_key(payload, use_store=True)
+        cached = self._cache_lookup(key)
+        if cached is not MISS:
+            return self.kernel.signal(
+                name=f"{self.service_name}.call"
+            ).succeed(cached)
         localized, decode_cost = decode_frames_inline(payload)
-        return self._execute(localized, decode_cost=decode_cost)
+        return self._submit(localized, decode_cost=decode_cost, key=key)
 
     # -- execution ---------------------------------------------------------------
-    def _execute(self, payload: Any, decode_cost: float) -> Signal:
+    def _submit(self, payload: Any, decode_cost: float, key: str | None) -> Signal:
+        if self._effective_max_batch() > 1:
+            return self._enqueue_batch(payload, decode_cost, key)
+        return self._execute(payload, decode_cost, key)
+
+    def _execute(self, payload: Any, decode_cost: float, key: str | None) -> Signal:
         done = self.kernel.signal(name=f"{self.service_name}.call")
         proc = self.kernel.process(
-            self._run(payload, decode_cost, done),
+            self._run(payload, decode_cost, done, key),
             name=f"{self.service_name}.exec",
         )
         self._inflight[done] = proc
         return done
 
-    def _run(self, payload: Any, decode_cost: float, done: Signal):
+    def _run(self, payload: Any, decode_cost: float, done: Signal, key: str | None):
         grant = None
         result = None
         try:
@@ -161,8 +289,181 @@ class ServiceHost:
             if (grant is not None and not grant.released
                     and grant.resource is self.workers):
                 self.workers.release(grant)
+            if self._batch_pending:  # batching was enabled mid-flight
+                self._pump_batches()
+        if key is not None and self._cache is not None:
+            self._cache.store(key, result, self.kernel.now)
         if done.pending:
             done.succeed(result)
+
+    # -- batch formation ----------------------------------------------------------
+    # Requests never sit in the worker resource queue on the batch path:
+    # while all workers are busy they accumulate in ``_batch_pending``
+    # (free batch formation — they would have queued anyway), and a batch
+    # dispatches only when a worker is actually free. Three dispatch
+    # triggers:
+    #   * a zero-delay flush scheduled on arrival at a free host — it runs
+    #     after the current event cascade, so requests issued at the same
+    #     simulated instant (e.g. two pipelines unblocked by one completed
+    #     batch) coalesce with NO added simulated latency;
+    #   * the pending count reaching the effective max batch;
+    #   * the ``max_wait_s`` company timer, armed when a worker frees up
+    #     and finds only a lone pending request — the one bounded wait that
+    #     lets out-of-phase callers fall into a shared batch rhythm.
+
+    def _worker_free(self) -> bool:
+        return self.workers.available > 0 and self.workers.queue_length == 0
+
+    def _enqueue_batch(self, payload: Any, decode_cost: float,
+                       key: str | None) -> Signal:
+        done = self.kernel.signal(name=f"{self.service_name}.call")
+        self._batch_pending.append(
+            (payload, decode_cost, done, key, self.kernel.now)
+        )
+        if self._worker_free():
+            if len(self._batch_pending) >= self._effective_max_batch():
+                self._dispatch_pending()
+            elif self._batch_timer is None:
+                self._schedule_flush(0.0)  # coalesce same-instant arrivals
+        return done
+
+    def _schedule_flush(self, delay: float) -> None:
+        self._batch_probe = delay > 0
+        self._batch_timer = self.kernel.schedule(delay, self._flush_timer)
+
+    def _flush_timer(self) -> None:
+        probed = self._batch_probe
+        self._batch_timer = None
+        self._batch_probe = False
+        if self._batch_pending and self._worker_free():
+            self._dispatch_pending(probed=probed)
+        # all workers busy: keep accumulating; the next release pumps
+
+    def _dispatch_pending(self, probed: bool = False) -> None:
+        if self._batch_timer is not None:
+            self.kernel.cancel(self._batch_timer)
+            self._batch_timer = None
+            self._batch_probe = False
+        limit = self._effective_max_batch()
+        items = self._batch_pending[:limit]
+        del self._batch_pending[:limit]
+        if len(items) >= 2:
+            # company found: the workload batches, keep probing for it
+            self._solo_streak = 0
+            self._solo_immediate = 0
+        elif probed:
+            self._solo_streak += 1
+        self._dispatch_batch(items)
+
+    def _pump_batches(self) -> None:
+        """On a worker state change: dispatch pending work or arm the
+        company timer for a lone request."""
+        if not self._batch_pending or not self._worker_free():
+            return
+        if len(self._batch_pending) >= 2 or self._batch_wait_s == 0:
+            self._dispatch_pending()
+            return
+        if self._solo_streak >= SOLO_PROBE_LIMIT:
+            # recent probes all went out alone — stop taxing lone requests,
+            # but probe again occasionally in case the load shape changed
+            self._solo_immediate += 1
+            if self._solo_immediate >= SOLO_RETRY_AFTER:
+                self._solo_streak = 0
+                self._solo_immediate = 0
+            self._dispatch_pending()
+        elif self._batch_timer is None:
+            # a lone request gets one bounded window for company before
+            # going out solo
+            self._schedule_flush(self._batch_wait_s)
+
+    def _dispatch_batch(
+        self, items: list[tuple[Any, float, Signal, str | None, float]]
+    ) -> None:
+        proc = self.kernel.process(
+            self._run_batch(items), name=f"{self.service_name}.exec"
+        )
+        for _, _, done, _, _ in items:
+            self._inflight[done] = proc
+
+    def _run_batch(self, items: list[tuple[Any, float, Signal, str | None, float]]):
+        grant = None
+        results: list[Any] | None = None
+        dones = [done for _, _, done, _, _ in items]
+        try:
+            grant = yield self.workers.request()
+            # availability is accurate again: further pending work may have
+            # room on the remaining replicas
+            self._pump_batches()
+            started = self.kernel.now
+            for _, _, _, _, enqueued_at in items:
+                self.total_wait_s += started - enqueued_at
+            total_decode = sum(dc for _, dc, _, _, _ in items)
+            if total_decode > 0:
+                yield self.device.cpu.execute_fixed(total_decode)
+            resolved = [
+                resolve_refs(p, self.device.frame_store)
+                for p, _, _, _, _ in items
+            ]
+            cost = self.service.batch_compute_cost(resolved)
+            if cost > 0:
+                yield self.device.cpu.execute(cost)
+            try:
+                results = self.service.handle_batch(resolved, self._ctx)
+                if len(results) != len(items):
+                    raise ServiceError(
+                        f"{self.service_name}.handle_batch returned"
+                        f" {len(results)} results for {len(items)} payloads"
+                    )
+            except Interrupt:
+                raise
+            except Exception:
+                # per-item fallback: rerun individually so one poisoned
+                # payload fails alone instead of taking the batch down
+                results = []
+                for payload in resolved:
+                    try:
+                        results.append(self.service.handle(payload, self._ctx))
+                    except Exception as exc:
+                        results.append(_BatchItemError(exc))
+            self.total_busy_s += self.kernel.now - started
+            self.batched_calls += 1
+            self.batch_size_counts[len(items)] += 1
+        except Interrupt as stop:
+            for done in dones:
+                if done.pending:
+                    done.fail(ServiceError(
+                        f"{self.service_name}@{self.device.name} dropped call:"
+                        f" {stop.cause}"
+                    ))
+            return
+        except Exception as exc:
+            self.errors += 1
+            for done in dones:
+                if done.pending:
+                    done.fail(ServiceError(f"{self.service_name} failed: {exc}"))
+            return
+        finally:
+            for done in dones:
+                self._inflight.pop(done, None)
+            # a grant from a pre-crash worker pool dies with that pool
+            if (grant is not None and not grant.released
+                    and grant.resource is self.workers):
+                self.workers.release(grant)
+            self._pump_batches()
+        now = self.kernel.now
+        assert results is not None
+        for (_, _, done, key, _), result in zip(items, results):
+            if isinstance(result, _BatchItemError):
+                self.errors += 1
+                if done.pending:
+                    done.fail(ServiceError(
+                        f"{self.service_name} failed: {result.exc}"
+                    ))
+                continue
+            if key is not None and self._cache is not None:
+                self._cache.store(key, result, now)
+            if done.pending:
+                done.succeed(result)
 
     # -- failure lifecycle -------------------------------------------------------
     def crash(self) -> None:
@@ -174,6 +475,12 @@ class ServiceHost:
         self.crashes += 1
         self._rpc.close()
         self._drop_inflight(f"{self.service_name}@{self.device.name} crashed")
+        self._drop_batch_pending(
+            f"{self.service_name}@{self.device.name} crashed"
+        )
+        # conservative: a restarted process may come back with a different
+        # model revision, so cached results do not survive the crash
+        self.invalidate_cache()
         self.workers = Resource(
             self.kernel, self._replica_target,
             name=f"{self.device.name}.{self.service_name}.workers",
@@ -196,6 +503,18 @@ class ServiceHost:
             if done.pending:
                 done.fail(ServiceError(f"call dropped: {reason}"))
 
+    def _drop_batch_pending(self, reason: str) -> None:
+        """Fail requests still waiting for batch formation (never
+        dispatched, so there is no process to interrupt)."""
+        if self._batch_timer is not None:
+            self.kernel.cancel(self._batch_timer)
+            self._batch_timer = None
+        pending, self._batch_pending = self._batch_pending, []
+        self.dropped_in_flight += len(pending)
+        for _, _, done, _, _ in pending:
+            if done.pending:
+                done.fail(ServiceError(f"call dropped: {reason}"))
+
     def close(self) -> None:
         """Orderly, idempotent teardown: unbind and fail anything pending."""
         if self._closed:
@@ -204,11 +523,16 @@ class ServiceHost:
         self.up = False
         self._rpc.close()
         self._drop_inflight(f"{self.service_name}@{self.device.name} closed")
+        self._drop_batch_pending(
+            f"{self.service_name}@{self.device.name} closed"
+        )
 
     # -- introspection ---------------------------------------------------------
     @property
     def queue_length(self) -> int:
-        return self.workers.queue_length
+        # requests awaiting batch formation are queued load too (empty
+        # unless batching is enabled)
+        return self.workers.queue_length + len(self._batch_pending)
 
     @property
     def busy_workers(self) -> int:
@@ -216,6 +540,21 @@ class ServiceHost:
 
     def utilization(self) -> float:
         return self.workers.utilization()
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of cacheable requests answered from the result cache."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def avg_batch_size(self) -> float:
+        """Observed mean dispatch size (1.0 before any batched dispatch)."""
+        dispatches = sum(self.batch_size_counts.values())
+        if dispatches == 0:
+            return 1.0
+        total_items = sum(n * c for n, c in self.batch_size_counts.items())
+        return total_items / dispatches
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "native" if self.native else "container"

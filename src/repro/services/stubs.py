@@ -54,7 +54,10 @@ def derive_service_timeout(
         )
     except NetworkError:
         one_way = 0.25  # route currently unresolvable; assume a slow path
-    return max(2.0, 30.0 * compute + 20.0 * one_way + 1.0)
+    # a batching host may hold a request for up to batch_wait_s before
+    # dispatch; budget generously for it (0 when batching is off)
+    return max(2.0, 30.0 * compute + 20.0 * one_way + 1.0
+               + 10.0 * host.batch_wait_s)
 
 
 class ServiceStub:

@@ -44,6 +44,8 @@ class Process:
             value, or fails with the exception that escaped it.
     """
 
+    __slots__ = ("kernel", "name", "_gen", "done", "_epoch", "_waiting_on")
+
     def __init__(self, kernel: "Kernel", gen: ProcessGenerator, name: str | None = None) -> None:
         if not hasattr(gen, "send"):
             raise SimulationError(

@@ -8,6 +8,7 @@ objects so processes can ``yield`` on them.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from collections import deque
 from typing import Any
@@ -102,9 +103,9 @@ class Resource:
         if self._in_use < self.capacity and not self._waiting:
             self._issue(sig, grant)
         else:
-            # (priority, id) gives priority order with FIFO tie-break
-            self._waiting.append((priority, grant.id, sig, grant))
-            self._waiting.sort(key=lambda item: (item[0], item[1]))
+            # a heap keyed on (priority, id): priority order with FIFO
+            # tie-break, without re-sorting the queue on every request
+            heapq.heappush(self._waiting, (priority, grant.id, sig, grant))
         return sig
 
     def release(self, grant: Grant) -> None:
@@ -117,7 +118,7 @@ class Resource:
         self._account()
         self._in_use -= 1
         if self._waiting and self._in_use < self.capacity:
-            _, _, sig, next_grant = self._waiting.pop(0)
+            _, _, sig, next_grant = heapq.heappop(self._waiting)
             self._issue(sig, next_grant)
 
     def grow(self, extra: int = 1) -> None:
@@ -128,7 +129,7 @@ class Resource:
         self._account()
         self.capacity += extra
         while self._waiting and self._in_use < self.capacity:
-            _, _, sig, grant = self._waiting.pop(0)
+            _, _, sig, grant = heapq.heappop(self._waiting)
             self._issue(sig, grant)
 
     def _issue(self, sig: Signal, grant: Grant) -> None:

@@ -1,0 +1,80 @@
+"""Unit tests for content digests: the foundation of dedup and caching."""
+
+import numpy as np
+
+from repro.frames import FrameRef, VideoFrame, content_digest, encode_frame
+
+
+def make_frame(frame_id=1, t=0.0, fill=7, w=32, h=24):
+    pixels = np.full((h, w, 3), fill, dtype=np.uint8)
+    return VideoFrame(frame_id=frame_id, source="cam", capture_time=t,
+                      width=w, height=h, pixels=pixels)
+
+
+class TestContentDigest:
+    def test_bookkeeping_excluded(self):
+        """Same scene, different capture: frame_id/capture_time don't count."""
+        a = make_frame(frame_id=1, t=0.0)
+        b = make_frame(frame_id=99, t=4.5)
+        assert content_digest(a) == content_digest(b)
+
+    def test_pixels_included(self):
+        assert content_digest(make_frame(fill=7)) != content_digest(make_frame(fill=8))
+
+    def test_geometry_included(self):
+        assert content_digest(make_frame(w=32)) != content_digest(make_frame(w=16))
+
+    def test_metadata_included(self):
+        a = make_frame()
+        b = make_frame()
+        b.metadata["exercise"] = "squat"
+        assert content_digest(a) != content_digest(b)
+
+    def test_scalar_type_tags_distinct(self):
+        """1, 1.0 are equal-but-distinct reprs; True gets its own tag."""
+        assert content_digest(1) != content_digest(True)
+        assert content_digest(0) != content_digest(None)
+        assert content_digest("1") != content_digest(1)
+
+    def test_container_shape_matters(self):
+        assert content_digest([1, 2]) != content_digest((1, 2))
+        assert content_digest({"a": 1}) != content_digest({"a": 2})
+        # dict key order is canonicalized
+        assert content_digest({"a": 1, "b": 2}) == content_digest({"b": 2, "a": 1})
+
+    def test_arrays_digest_by_value(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert content_digest(a) == content_digest(a.copy())
+        assert content_digest(a) != content_digest(a.astype(np.float32))
+
+    def test_arbitrary_object_is_undigestable(self):
+        assert content_digest(object()) is None
+        assert content_digest({"frame": object()}) is None  # poisons the payload
+
+    def test_ref_without_resolver_is_undigestable(self):
+        assert content_digest({"frame": FrameRef("phone", 3)}) is None
+
+    def test_ref_resolves_through_resolver(self):
+        digests = {3: "aaaa", 4: "aaaa", 5: "bbbb"}
+        resolver = lambda ref: digests.get(ref.ref_id)
+        same_a = content_digest({"frame": FrameRef("phone", 3)}, resolve_ref=resolver)
+        same_b = content_digest({"frame": FrameRef("phone", 4)}, resolve_ref=resolver)
+        other = content_digest({"frame": FrameRef("phone", 5)}, resolve_ref=resolver)
+        assert same_a == same_b  # key is stable across ref ids
+        assert same_a != other
+        assert content_digest(
+            {"frame": FrameRef("phone", 9)}, resolve_ref=resolver
+        ) is None  # resolver returning None poisons the payload
+
+    def test_encoded_frame_quality_matters(self):
+        frame = make_frame()
+        q80 = encode_frame(frame, quality=80)
+        q40 = encode_frame(frame, quality=40)
+        assert content_digest(q80) is not None
+        assert content_digest(q80) != content_digest(q40)
+
+    def test_repeated_encodes_collide(self):
+        """The remote-path cache key: same frame encoded twice hashes equal."""
+        a = encode_frame(make_frame(frame_id=1), quality=80)
+        b = encode_frame(make_frame(frame_id=2), quality=80)
+        assert content_digest(a) == content_digest(b)

@@ -73,6 +73,76 @@ class TestSelectHost:
             select_host(multi_home.registry, "svc", policy="random")
 
 
+class TestTieBreaking:
+    @pytest.fixture
+    def twin_home(self):
+        """'svc' on two identical desktops, registered beta-before-alpha."""
+        home = VideoPipe(seed=0)
+        for name in ("beta", "alpha"):
+            home.add_device(DeviceSpec(name=name, kind="desktop",
+                                       cpu_factor=1.0, cores=8,
+                                       supports_containers=True))
+            home.deploy_service(
+                FunctionService("svc", lambda p, c: p, reference_cost_s=0.040,
+                                default_port=7700),
+                name,
+            )
+        return home
+
+    def test_fastest_ties_break_by_device_name(self, twin_home):
+        host = select_host(twin_home.registry, "svc", policy=FASTEST)
+        assert host.device.name == "alpha"  # not registration order
+
+    def test_least_loaded_ties_break_by_device_name(self, twin_home):
+        host = select_host(twin_home.registry, "svc", policy=LEAST_LOADED)
+        assert host.device.name == "alpha"
+
+    def test_tie_break_is_stable_across_calls(self, twin_home):
+        picks = {
+            select_host(twin_home.registry, "svc", policy=FASTEST).device.name
+            for _ in range(5)
+        }
+        assert picks == {"alpha"}
+
+
+class BatchySvc(FunctionService):
+    max_batch = 4
+    batch_marginal_cost_frac = 0.5
+
+
+class TestBatchAwareEstimate:
+    @pytest.fixture
+    def batchy_host(self):
+        home = VideoPipe(seed=0)
+        home.add_device(DeviceSpec(name="zeus", kind="desktop", cpu_factor=1.0,
+                                   cores=8, supports_containers=True))
+        return home.deploy_service(
+            BatchySvc("svc", lambda p, c: p, reference_cost_s=0.040,
+                      default_port=7700),
+            "zeus",
+        )
+
+    def test_unbatched_host_reproduces_plain_estimate(self, batchy_host):
+        assert expected_service_time(batchy_host) == pytest.approx(0.040)
+
+    def test_observed_batch_size_shrinks_estimate(self, batchy_host):
+        batchy_host.batch_size_counts[2] += 10  # as if it had batched
+        est = expected_service_time(batchy_host)
+        # a steady batch of 2 at 0.5 marginal frac: 0.75x per item
+        assert est == pytest.approx(0.040 * 0.75)
+
+    def test_hypothetical_batch_size_overrides_observed(self, batchy_host):
+        assert expected_service_time(batchy_host, batch_size=4) < \
+            expected_service_time(batchy_host, batch_size=2) < \
+            expected_service_time(batchy_host, batch_size=1)
+        assert expected_service_time(batchy_host, batch_size=1) == \
+            pytest.approx(0.040)
+
+    def test_estimate_clamped_to_service_max_batch(self, batchy_host):
+        assert expected_service_time(batchy_host, batch_size=100) == \
+            pytest.approx(expected_service_time(batchy_host, batch_size=4))
+
+
 class TestMakeStubBalancing:
     def test_remote_stub_dials_fastest_by_default(self, multi_home):
         caller = multi_home.device("caller")
