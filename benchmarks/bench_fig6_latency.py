@@ -3,9 +3,17 @@
 Paper: "VideoPipe achieves lower latency for loading frames, pose detection,
 activity detection, rep counter and the pipeline. Among which, the delay for
 the pose detection is much lower than the remote API calls in the baseline."
+
+The traced variant re-derives the same decomposition from per-frame spans
+(``repro.trace``) and writes a ``chrome://tracing`` / Perfetto artifact; set
+``REPRO_TRACE_OUT`` to choose where the JSON lands (CI uploads it).
 """
 
+import json
+import os
+
 from repro.metrics import format_table
+from repro.trace import critical_path, write_chrome_trace
 
 from .conftest import FAST, run_fitness
 
@@ -62,3 +70,53 @@ def test_fig6_per_stage_latency(benchmark, fitness_recognizer):
     gaps = {s: results["baseline"][s] - results["videopipe"][s]
             for s in STAGES if s != "total_duration"}
     assert max(gaps, key=gaps.get) == "pose_detection"
+
+
+def test_fig6_traced_decomposition(benchmark, fitness_recognizer, tmp_path):
+    """Fig. 6 with tracing on: the span-derived stage means must agree with
+    the MetricsCollector (within 1%), and the run leaves a loadable
+    Chrome-trace artifact behind."""
+    out = {}
+
+    def run():
+        _, metrics, home = run_fitness(fitness_recognizer, "videopipe",
+                                       fps=10.0, trace=True)
+        out["metrics"] = metrics
+        out["tracer"] = home.tracer
+        return metrics
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    metrics, tracer = out["metrics"], out["tracer"]
+    report = critical_path(tracer, pipeline="fitness")
+    assert report.frame_count == metrics.counter("frames_completed")
+    collector_means = metrics.stage_means_ms()
+    trace_means = report.stage_means_ms()
+    for stage in STAGES:
+        assert abs(trace_means[stage] - collector_means[stage]) \
+            <= 0.01 * collector_means[stage], stage
+        benchmark.extra_info[f"traced_{stage}_ms"] = round(
+            trace_means[stage], 2)
+
+    print()
+    print(format_table(
+        ["stage", "collector (ms)", "trace (ms)"],
+        [[stage, collector_means[stage], trace_means[stage]]
+         for stage in STAGES],
+        title="Fig. 6 — trace-derived stage means vs MetricsCollector",
+        float_format="{:.2f}",
+    ))
+    print("critical path (mean ms/frame):",
+          {k: round(v, 2) for k, v in report.category_means_ms().items()})
+
+    artifact = os.environ.get("REPRO_TRACE_OUT",
+                              str(tmp_path / "fig6_trace.json"))
+    os.makedirs(os.path.dirname(os.path.abspath(artifact)), exist_ok=True)
+    write_chrome_trace(tracer, artifact)
+    with open(artifact, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"], "empty trace artifact"
+    benchmark.extra_info["trace_events"] = len(doc["traceEvents"])
+    benchmark.extra_info["trace_artifact"] = artifact
+    print(f"chrome trace written to {artifact}"
+          f" ({len(doc['traceEvents'])} events)")

@@ -50,12 +50,14 @@ def gesture_camera_spec():
 
 def run_fitness(recognizer, architecture, fps, seed=11, duration=DURATION_S,
                 transport="zeromq", broker_device=None, pose_replicas=1,
-                perf=None, static_scene=False, mode="signal"):
-    """One fitness-pipeline run; returns (throughput_fps, metrics)."""
+                perf=None, static_scene=False, mode="signal", trace=False):
+    """One fitness-pipeline run; returns (throughput_fps, metrics, home)."""
     kwargs = {"transport": transport}
     if broker_device:
         kwargs["broker_device"] = broker_device
     home = VideoPipe.paper_testbed(seed=seed, **kwargs)
+    if trace:
+        home.enable_tracing()
     if perf is not None:
         home.enable_fast_path(perf)
     services = install_fitness_services(

@@ -53,6 +53,7 @@ from .pipeline import (
     Pipeline,
     PerfConfig,
     PipelineConfig,
+    TraceConfig,
     parse_pipeline_json,
     parse_pipeline_text,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "ServiceCallContext",
     "ServiceError",
     "SimulationError",
+    "TraceConfig",
     "VideoPipe",
     "__version__",
     "parse_pipeline_json",

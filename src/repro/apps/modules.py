@@ -91,11 +91,12 @@ class VideoStreamingModule(Module):
             jitter_cv=self.capture_jitter_cv,
             rng=rng,
             credit_timeout_s=self.credit_timeout_s,
+            on_drop=lambda frame: ctx.frame_dropped(frame.frame_id),
         )
         self.source.start(duration_s=self.duration_s, max_frames=self.max_frames)
 
     def _admit(self, ctx: ModuleContext, frame) -> None:
-        ctx.metrics.frame_entered(frame.frame_id, ctx.now)
+        ctx.frame_entered(frame.frame_id)
         ref = ctx.store_frame(frame)
         ctx.call_next(
             {
@@ -142,7 +143,7 @@ class PoseDetectionModule(Module):
                 # frame, refill the credit, surface the error to the runtime
                 ctx.release(ref)
                 ctx.metrics.increment("pose_failures")
-                ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
+                ctx.frame_completed(payload["frame_id"])
                 ctx.signal_source()
                 raise
             prepare_s = ctx.service_prepare_s(self.service)
@@ -152,7 +153,7 @@ class PoseDetectionModule(Module):
                 # nothing to analyze: drop the frame, free the pipeline
                 ctx.release(ref)
                 ctx.metrics.increment("pose_misses")
-                ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
+                ctx.frame_completed(payload["frame_id"])
                 ctx.signal_source()
                 return
             out = {
@@ -318,8 +319,8 @@ class DisplayModule(Module):
         frame = ctx.get_frame(ref)
 
         def finish():
-            ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
-            ctx.metrics.record_stage("total_duration", ctx.now - frame.capture_time)
+            ctx.record_stage("total_duration", ctx.now - frame.capture_time)
+            ctx.frame_completed(payload["frame_id"])
             ctx.signal_source()
 
         def flow():
@@ -419,10 +420,10 @@ class GestureControlModule(Module):
                         ctx.metrics.increment("iot_failures")
             if "frame" in payload:
                 ctx.release(payload["frame"])
-            ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
-            ctx.metrics.record_stage(
+            ctx.record_stage(
                 "total_duration", ctx.now - payload["capture_time"]
             )
+            ctx.frame_completed(payload["frame_id"])
             ctx.signal_source()
 
         return flow()
@@ -494,7 +495,7 @@ class FallDetectionModule(Module):
                     ctx.metrics.increment("iot_failures")
             if "frame" in payload:
                 ctx.release(payload["frame"])
-            ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
+            ctx.frame_completed(payload["frame_id"])
             ctx.signal_source()
 
         return flow()

@@ -131,11 +131,12 @@ class SceneCameraModule(Module):
         self.source = VideoSource(
             ctx._runtime.kernel, camera, fps=self.fps,
             deliver=lambda frame: self._admit(ctx, frame),
+            on_drop=lambda frame: ctx.frame_dropped(frame.frame_id),
         )
         self.source.start(duration_s=self.duration_s)
 
     def _admit(self, ctx: ModuleContext, frame: VideoFrame) -> None:
-        ctx.metrics.frame_entered(frame.frame_id, ctx.now)
+        ctx.frame_entered(frame.frame_id)
         ref = ctx.store_frame(frame)
         ctx.call_next({"frame": ref, "frame_id": frame.frame_id,
                        "capture_time": frame.capture_time})
@@ -165,7 +166,7 @@ class ObjectDetectionModule(Module):
                                                 {"frame": ref})
             except Exception:
                 ctx.metrics.increment("detection_failures")
-                ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
+                ctx.frame_completed(payload["frame_id"])
                 ctx.signal_source()
                 raise
             finally:
@@ -209,7 +210,7 @@ class ObjectTrackingModule(Module):
                         ctx.metrics.increment("tracks_created")
             except Exception:
                 ctx.metrics.increment("tracking_failures")
-            ctx.metrics.frame_completed(payload["frame_id"], ctx.now)
+            ctx.frame_completed(payload["frame_id"])
             ctx.signal_source()
 
         return flow()

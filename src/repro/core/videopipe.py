@@ -33,12 +33,17 @@ from ..monitor.orchestrator import (
     Orchestrator,
     evacuate_dead_device_remedy,
 )
-from ..monitor.probes import device_probe, pipeline_probe, service_probe
+from ..monitor.probes import (
+    device_probe,
+    pipeline_probe,
+    service_probe,
+    tracing_probe,
+)
 from ..net.broker import BrokeredTransport
 from ..net.link import WIFI_HOME, LinkSpec
 from ..net.topology import Topology
 from ..net.transport import BrokerlessTransport, Transport
-from ..pipeline.config import PerfConfig, PipelineConfig
+from ..pipeline.config import PerfConfig, PipelineConfig, TraceConfig
 from ..pipeline.deployer import Deployer
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.placement import (
@@ -57,6 +62,7 @@ from ..services.registry import ServiceRegistry
 from ..services.scaling import AutoScaler, ScalingPolicy
 from ..sim.kernel import Kernel, RealtimeKernel
 from ..sim.rng import RngStreams
+from ..trace.recorder import TraceRecorder
 
 
 class VideoPipe:
@@ -88,6 +94,8 @@ class VideoPipe:
         self.injector: ChaosInjector | None = None
         self._responders: dict[str, HeartbeatResponder] = {}
         self._perf: PerfConfig | None = None
+        self.tracer: TraceRecorder | None = None
+        self.pipelines: list[Pipeline] = []
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -180,6 +188,8 @@ class VideoPipe:
             self._apply_perf_to_host(host)
         if self.autoscaler is not None:
             self.autoscaler.watch(host)
+        if self.tracer is not None:
+            host.tracer = self.tracer
         if self.monitor is not None:
             self.monitor.add_probe(
                 f"service/{service.name}@{device_name}", service_probe(host)
@@ -265,6 +275,29 @@ class VideoPipe:
         )
         return {"dedup": dedup, "cache": cache, "batching": batching}
 
+    # -- tracing -------------------------------------------------------------------
+    def enable_tracing(self, trace: TraceConfig | None = None) -> TraceRecorder:
+        """Turn on per-frame distributed tracing home-wide.
+
+        Every current and future pipeline and service host reports spans to
+        one :class:`~repro.trace.recorder.TraceRecorder`. Tracing is passive
+        — the recorder never schedules kernel events and trace headers ride
+        outside the charged message envelope — so a traced run is
+        bit-for-bit identical to an untraced one. Idempotent: a second call
+        returns the existing recorder.
+        """
+        if self.tracer is None:
+            config = trace or TraceConfig()
+            self.tracer = TraceRecorder(self.kernel, max_spans=config.max_spans)
+            for pipeline in self.pipelines:
+                pipeline.wiring.tracer = self.tracer
+            for service_name in self.registry.service_names():
+                for host in self.registry.hosts_of(service_name):
+                    host.tracer = self.tracer
+            if self.monitor is not None:
+                self.monitor.add_probe("tracing", tracing_probe(self.tracer))
+        return self.tracer
+
     def enable_monitoring(self, period_s: float = 0.5) -> Monitor:
         """Turn on the §7 future-work monitor: every current and future
         device, service host and pipeline gets a probe."""
@@ -280,6 +313,8 @@ class VideoPipe:
                     )
             if self.detector is not None:
                 self.monitor.add_probe("failures", failure_probe(self.detector))
+            if self.tracer is not None:
+                self.monitor.add_probe("tracing", tracing_probe(self.tracer))
             self.monitor.start()
         return self.monitor
 
@@ -423,6 +458,9 @@ class VideoPipe:
             module_instances=module_instances,
             prefer_local_services=prefer_local_services,
         )
+        self.pipelines.append(pipeline)
+        if self.tracer is not None:
+            pipeline.wiring.tracer = self.tracer
         if self.monitor is not None:
             self.monitor.add_probe(
                 f"pipeline/{pipeline.name}", pipeline_probe(pipeline)

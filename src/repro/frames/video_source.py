@@ -114,6 +114,12 @@ class VideoSource:
             lost (a crashed module, a mid-flight migration), regenerate the
             credit after this many seconds instead of stalling forever.
             ``None`` (default) is the paper's pure protocol.
+        on_drop: callback invoked with each frame dropped at the source
+            (buffered frame replaced by a fresher capture, or discarded by
+            the watchdog). Lets the pipeline account for frames that never
+            complete — only frames the pipeline has *seen* matter, so most
+            sources leave this unset; the streaming module wires it to
+            frame accounting.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class VideoSource:
         jitter_cv: float = 0.0,
         rng: np.random.Generator | None = None,
         credit_timeout_s: float | None = None,
+        on_drop: Callable[[VideoFrame], None] | None = None,
     ) -> None:
         if fps <= 0:
             raise ConfigError("fps must be positive")
@@ -143,6 +150,7 @@ class VideoSource:
         self.jitter_cv = jitter_cv
         self.rng = rng
         self.credit_timeout_s = credit_timeout_s
+        self.on_drop = on_drop
         self._credits = 1
         self._pending: VideoFrame | None = None
         self._last_emit_at = 0.0
@@ -186,6 +194,11 @@ class VideoSource:
         self._last_emit_at = self.kernel.now
         self.deliver(frame)
 
+    def _drop(self, frame: VideoFrame) -> None:
+        self.dropped_count += 1
+        if self.on_drop is not None:
+            self.on_drop(frame)
+
     @property
     def drop_rate(self) -> float:
         """Fraction of captured frames dropped at the source."""
@@ -228,8 +241,8 @@ class VideoSource:
                 self.watchdog_recoveries += 1
                 self._credits = 1
                 if self._pending is not None:
-                    self._pending = None
-                    self.dropped_count += 1
+                    stale, self._pending = self._pending, None
+                    self._drop(stale)
             if self.mode == "push":
                 self._emit(frame)
             elif self._credits > 0:
@@ -239,7 +252,7 @@ class VideoSource:
                 # no credit: buffer the freshest frame; the one it replaces
                 # is dropped at the source (§2.3)
                 if self._pending is not None:
-                    self.dropped_count += 1
+                    self._drop(self._pending)
                 self._pending = frame
             yield self._interval()
         self._running = False

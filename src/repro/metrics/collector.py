@@ -36,7 +36,12 @@ class MetricsCollector:
         return list(self._stages[stage])
 
     def stage_summary(self, stage: str) -> Summary:
-        return summarize(self._stages[stage])
+        """Summary for one stage; :meth:`Summary.empty` when no samples
+        were recorded (e.g. every frame died under a chaos plan)."""
+        samples = self._stages.get(stage)
+        if not samples:
+            return Summary.empty()
+        return summarize(samples)
 
     def stage_means_ms(self) -> dict[str, float]:
         """Mean latency per stage in milliseconds (Fig. 6's quantity)."""
@@ -60,12 +65,30 @@ class MetricsCollector:
             self._frame_latencies.append(now - started)
         self._counters["frames_completed"] += 1
 
+    def frame_dropped(self, frame_id: int, now: float) -> None:
+        """A frame left the pipeline without completing (dropped at the
+        source, lost with a crashed device's mailbox, discarded during a
+        migration). Prunes the start entry — without this, every such frame
+        leaks a ``_frame_started`` slot for the rest of the run — and
+        counts it under ``frames_dropped``. Safe for frames that were never
+        admitted (the source's pre-admission drops)."""
+        self._frame_started.pop(frame_id, None)
+        self._counters["frames_dropped"] += 1
+
+    @property
+    def frames_in_flight(self) -> int:
+        """Frames admitted but neither completed nor dropped yet."""
+        return len(self._frame_started)
+
     def throughput_fps(self, end_time: float, warmup_s: float = 0.0) -> float:
         """Completed frames per second over the measurement window."""
         return self.completions.rate(end_time, warmup_s)
 
     def total_latency_summary(self) -> Summary:
-        """Source-to-completion latency ('Total Duration' in Fig. 6)."""
+        """Source-to-completion latency ('Total Duration' in Fig. 6);
+        :meth:`Summary.empty` when no frame ever completed."""
+        if not self._frame_latencies:
+            return Summary.empty()
         return summarize(self._frame_latencies)
 
     @property

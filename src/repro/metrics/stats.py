@@ -32,6 +32,19 @@ class Summary:
             "max": self.maximum,
         }
 
+    @classmethod
+    def empty(cls) -> "Summary":
+        """The zero-sample summary (``count == 0``, all statistics 0.0).
+
+        Returned by collector-level summaries when nothing was recorded —
+        e.g. a chaos plan killed every frame — so report code can render a
+        row instead of crashing. The bare :func:`summarize` still raises on
+        empty input: silently producing zeros there would mask missing data
+        at the call sites that *do* expect samples.
+        """
+        return cls(count=0, mean=0.0, std=0.0, minimum=0.0,
+                   p50=0.0, p90=0.0, p99=0.0, maximum=0.0)
+
     def scaled(self, factor: float) -> "Summary":
         """Unit conversion (e.g. seconds -> milliseconds with factor=1e3)."""
         return Summary(
@@ -97,9 +110,14 @@ class RateMeter:
         return len(self.timestamps)
 
     def rate(self, end_time: float, warmup_s: float = 0.0) -> float:
-        """Events per second between ``warmup_s`` and ``end_time``."""
+        """Events per second between ``warmup_s`` and ``end_time``.
+
+        Both window edges are enforced: ticks after ``end_time`` (a meter
+        read mid-run, or reused across measurement windows) don't inflate
+        the rate they are outside of.
+        """
         window = end_time - warmup_s
         if window <= 0:
             raise ValueError("measurement window is empty")
-        counted = sum(1 for t in self.timestamps if t >= warmup_s)
+        counted = sum(1 for t in self.timestamps if warmup_s <= t <= end_time)
         return counted / window

@@ -16,7 +16,13 @@ from .orchestrator import (
     migrate_module_remedy,
     scale_service_remedy,
 )
-from .probes import Sample, device_probe, pipeline_probe, service_probe
+from .probes import (
+    Sample,
+    device_probe,
+    pipeline_probe,
+    service_probe,
+    tracing_probe,
+)
 
 __all__ = [
     "Action",
@@ -37,4 +43,5 @@ __all__ = [
     "pipeline_probe",
     "scale_service_remedy",
     "service_probe",
+    "tracing_probe",
 ]

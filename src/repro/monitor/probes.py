@@ -80,8 +80,26 @@ def pipeline_probe(pipeline: Pipeline) -> ProbeFn:
         return {
             "frames_entered": float(metrics.counter("frames_entered")),
             "frames_completed": float(metrics.counter("frames_completed")),
+            "frames_dropped": float(metrics.counter("frames_dropped")),
+            "frames_in_flight": float(metrics.frames_in_flight),
             "module_errors": float(errors),
             "queued_events": float(mailboxes),
+        }
+
+    return read
+
+
+def tracing_probe(recorder) -> ProbeFn:
+    """Span volume and frame accounting for the home's trace recorder."""
+
+    def read() -> dict[str, float]:
+        return {
+            "spans": float(recorder.span_count),
+            "open_frames": float(recorder.open_frame_count),
+            "dropped_spans": float(recorder.dropped_spans),
+            "frames_traced": float(recorder.frames_started),
+            "frames_finished": float(recorder.frames_finished),
+            "frames_dropped": float(recorder.frames_dropped),
         }
 
     return read

@@ -22,6 +22,13 @@ KIND_REQUEST = "request"  # RPC request (call_service, remote)
 KIND_REPLY = "reply"  # RPC response
 KIND_SIGNAL = "signal"  # flow-control ready signal (sink -> source)
 
+#: Header key carrying a trace context (``[trace_id, span_id]``) across
+#: module hops and RPC calls. Injected *after* message construction so it
+#: never counts toward ``size_bytes``: the ~30 bytes a real tracer adds are
+#: below the size model's resolution, and keeping them out guarantees a
+#: traced run replays bit-for-bit like an untraced one (no observer effect).
+H_TRACE = "trace"
+
 
 @dataclass(slots=True)
 class Message:

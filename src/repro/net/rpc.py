@@ -101,18 +101,22 @@ class RpcClient:
         payload: Any,
         timeout: float | None = _UNSET,
         retry: RetryPolicy | None = _UNSET,
+        headers: dict[str, Any] | None = None,
     ) -> Signal:
         """Send *payload* to *target*; the returned signal resolves with the
         reply payload, or fails with :class:`~repro.errors.RpcError` on a
         remote error, timeout, or (after any retries) delivery failure.
 
         ``timeout``/``retry`` default to the client-wide policies; pass
-        ``None`` explicitly to disable either for one call.
+        ``None`` explicitly to disable either for one call. *headers* are
+        extra request headers (e.g. a trace context) merged into every
+        attempt, outside the charged envelope.
         """
         timeout_s = self.default_timeout_s if timeout is _UNSET else timeout
         policy = self.retry if retry is _UNSET else retry
         done = self.kernel.signal(name=f"rpc-call:{target.device}:{target.port}")
-        self._start_attempt(target, payload, timeout_s, policy, done, 1)
+        self._start_attempt(target, payload, timeout_s, policy, done, 1,
+                            headers=headers)
         return done
 
     def breaker_for(self, target: Address) -> CircuitBreaker | None:
@@ -154,6 +158,7 @@ class RpcClient:
         policy: RetryPolicy | None,
         done: Signal,
         attempt: int,
+        headers: dict[str, Any] | None = None,
     ) -> None:
         if not done.pending:
             return
@@ -168,10 +173,11 @@ class RpcClient:
                 f" {breaker.consecutive_failures} consecutive failures"
             ))
             return
-        result = self._attempt(target, payload, timeout_s)
+        result = self._attempt(target, payload, timeout_s, headers)
         result.wait(
             lambda value, exc: self._on_attempt_done(
-                target, payload, timeout_s, policy, done, attempt, value, exc
+                target, payload, timeout_s, policy, done, attempt, value, exc,
+                headers,
             )
         )
 
@@ -185,6 +191,7 @@ class RpcClient:
         attempt: int,
         value: Any,
         exc: BaseException | None,
+        headers: dict[str, Any] | None = None,
     ) -> None:
         if not done.pending:
             return
@@ -206,7 +213,7 @@ class RpcClient:
             delay = policy.backoff_s(attempt, self._rng)
             self.kernel.schedule(
                 delay, self._start_attempt,
-                target, payload, timeout_s, policy, done, attempt + 1,
+                target, payload, timeout_s, policy, done, attempt + 1, headers,
             )
             return
         self.calls_failed += 1
@@ -219,7 +226,8 @@ class RpcClient:
         return isinstance(exc, NetworkError)
 
     # -- single attempt --------------------------------------------------------
-    def _attempt(self, target: Address, payload: Any, timeout_s: float | None) -> Signal:
+    def _attempt(self, target: Address, payload: Any, timeout_s: float | None,
+                 headers: dict[str, Any] | None = None) -> Signal:
         request_id = next(self._request_ids)
         result = self.kernel.signal(name=f"rpc#{request_id}")
         self._pending[request_id] = result
@@ -230,6 +238,10 @@ class RpcClient:
             src=Address(self.device, self.reply_address.port),
             headers={H_REQUEST_ID: request_id, H_REPLY_TO: str(self.reply_address)},
         )
+        if headers:
+            # merged post-construction: caller metadata (trace contexts)
+            # rides outside the charged envelope — see message.H_TRACE
+            message.headers.update(headers)
         self.calls_sent += 1
         sent = self.transport.send(message)
         sent.wait(lambda _v, exc: self._on_send_failure(request_id, exc))

@@ -1,6 +1,12 @@
 """Pipeline configuration, validation, placement and deployment."""
 
-from .config import ModuleConfig, PerfConfig, PipelineConfig, config_from_dict
+from .config import (
+    ModuleConfig,
+    PerfConfig,
+    PipelineConfig,
+    TraceConfig,
+    config_from_dict,
+)
 from .dag import (
     build_graph,
     longest_path,
@@ -38,6 +44,7 @@ __all__ = [
     "PipelineConfig",
     "PlacementPlan",
     "SINGLE_HOST",
+    "TraceConfig",
     "build_graph",
     "config_from_dict",
     "longest_path",

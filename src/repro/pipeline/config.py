@@ -97,6 +97,28 @@ class PerfConfig:
 
 
 @dataclass(slots=True)
+class TraceConfig:
+    """Knobs for per-frame distributed tracing.
+
+    Applied home-wide via :meth:`repro.core.videopipe.VideoPipe.enable_tracing`.
+    Tracing is passive: the recorder never schedules kernel events and trace
+    headers travel outside the charged message envelope, so a traced run is
+    bit-for-bit identical to an untraced one (see ``docs/TRACING.md``).
+
+    Attributes:
+        max_spans: recorder capacity; spans past it are dropped (and
+            counted in ``TraceRecorder.dropped_spans``) rather than growing
+            memory without bound on long runs.
+    """
+
+    max_spans: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_spans < 1:
+            raise ConfigError("max_spans must be >= 1")
+
+
+@dataclass(slots=True)
 class PipelineConfig:
     """A whole application: its module DAG plus the designated source.
 

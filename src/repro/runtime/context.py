@@ -24,10 +24,18 @@ from ..errors import ServiceError
 from ..frames.frame import FrameRef, VideoFrame
 from ..frames.payloads import add_refs
 from ..sim.signals import Signal
+from ..trace.span import (
+    CAT_SERIALIZE,
+    CAT_SERVICE,
+    CAT_STAGE,
+    SpanContext,
+    trace_id_for,
+)
 from .events import DATA, READY_SIGNAL
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..services.stubs import ServiceStub
+    from ..trace.recorder import TraceRecorder
     from .moduleruntime import ModuleRuntime
     from .wiring import PipelineWiring
 
@@ -46,6 +54,15 @@ class ModuleContext:
         self.module_name = module_name
         self.wiring = wiring
         self._stubs = stubs
+        # Ambient trace state for the event currently being handled. Safe
+        # as instance state because the runtime worker delivers events one
+        # at a time per module (single-threaded Duktape semantics): the
+        # fields are set before the handler runs and cleared after it
+        # finishes, including across generator suspensions.
+        #: the frame's root span — what outgoing messages propagate.
+        self._trace_root: SpanContext | None = None
+        #: the current handler span — what child spans parent to.
+        self._trace_span: SpanContext | None = None
 
     # -- identity & clock ------------------------------------------------------
     @property
@@ -63,6 +80,11 @@ class ModuleContext:
     @property
     def pipeline_name(self) -> str:
         return self.wiring.pipeline_name
+
+    @property
+    def tracer(self) -> "TraceRecorder | None":
+        """The home's trace recorder, or ``None`` while tracing is off."""
+        return self.wiring.tracer
 
     def rng(self, purpose: str) -> np.random.Generator:
         return self._runtime.device.local_rng(f"module/{self.module_name}/{purpose}")
@@ -85,7 +107,36 @@ class ModuleContext:
         # snapshot attributes them to this pipeline's metrics
         host = getattr(stub, "host", None)
         hits_before = host.cache_hits if host is not None else 0
-        signal = stub.call(payload)
+        tracer = self.tracer
+        if tracer is not None and self._trace_span is not None:
+            # pre-mint the call span's identity so the callee (local host or
+            # remote server) can parent its queue/compute spans to it; the
+            # span itself is recorded when the signal resolves
+            call_ctx = tracer.child_context(self._trace_span)
+            started = self.now
+            signal = stub.call(payload, trace=call_ctx)
+            device, actor = self.device_name, self.module_name
+            is_local = stub.is_local
+
+            def _record(_value: Any, exc: BaseException | None) -> None:
+                if not is_local and stub.last_prepare_s > 0:
+                    # the encode+marshal interval sits at the head of the
+                    # call window (the stub stamps it before dispatching)
+                    tracer.record(
+                        "rpc.serialize", CAT_SERIALIZE, parent=call_ctx,
+                        start=started, end=started + stub.last_prepare_s,
+                        device=device, actor=actor,
+                    )
+                tracer.record_span(
+                    call_ctx, f"service.call:{service_name}", CAT_SERVICE,
+                    start=started, end=tracer.kernel.now,
+                    device=device, actor=actor,
+                    service=service_name, ok=exc is None,
+                )
+
+            signal.wait(_record)
+        else:
+            signal = stub.call(payload)
         if host is not None and host.cache_hits > hits_before:
             self.metrics.increment(f"service_cache_hits.{service_name}")
         return signal
@@ -104,6 +155,16 @@ class ModuleContext:
         return stub.last_prepare_s if stub is not None else 0.0
 
     # -- Table 1: call_module ------------------------------------------------------
+    def _trace_headers(self, headers: dict[str, Any] | None) -> dict[str, Any]:
+        """Outgoing headers with the frame's root trace context attached
+        (when tracing is on and this event belongs to a traced frame)."""
+        from ..net.message import H_TRACE
+
+        out = dict(headers) if headers else {}
+        if self.tracer is not None and self._trace_root is not None:
+            out[H_TRACE] = self._trace_root.header()
+        return out
+
     def call_module(
         self,
         target_module: str,
@@ -112,7 +173,8 @@ class ModuleContext:
     ) -> Signal:
         """Send a payload to another module (ownership of refs moves)."""
         return self._runtime.send_to_module(
-            self.module_name, target_module, payload, headers or {}, kind=DATA
+            self.module_name, target_module, payload,
+            self._trace_headers(headers), kind=DATA
         )
 
     def call_next(
@@ -130,7 +192,8 @@ class ModuleContext:
             add_refs(payload, self._runtime.device.frame_store)
         return [
             self._runtime.send_to_module(
-                self.module_name, target, payload, dict(headers or {}), kind=DATA
+                self.module_name, target, payload,
+                self._trace_headers(headers), kind=DATA
             )
             for target in targets
         ]
@@ -166,9 +229,61 @@ class ModuleContext:
         self._runtime.device.frame_store.release(ref)
 
     # -- instrumentation -----------------------------------------------------------------
+    def frame_entered(self, frame_id: int) -> None:
+        """Admit *frame_id* into the pipeline: metrics bookkeeping plus —
+        when tracing is on — the frame's root span, which this module's
+        outgoing sends will propagate."""
+        self.metrics.frame_entered(frame_id, self.now)
+        tracer = self.tracer
+        if tracer is not None:
+            root = tracer.frame_started(
+                self.pipeline_name, frame_id,
+                device=self.device_name, actor=self.module_name,
+            )
+            self._trace_root = root
+            self._trace_span = root
+
+    def frame_completed(self, frame_id: int) -> None:
+        """The pipeline is done with *frame_id*: metrics bookkeeping plus
+        closing the frame's trace at the completion instant."""
+        self.metrics.frame_completed(frame_id, self.now)
+        tracer = self.tracer
+        if tracer is not None:
+            trace_id = trace_id_for(self.pipeline_name, frame_id)
+            if self._trace_span is not None:
+                tracer.annotate(
+                    "frame.complete", parent=self._trace_span,
+                    device=self.device_name, actor=self.module_name,
+                )
+            tracer.frame_finished(trace_id)
+
+    def frame_dropped(self, frame_id: int) -> None:
+        """*frame_id* left the pipeline without completing (source drop,
+        crashed device, migration): prune its metrics entry and close its
+        trace — if it ever had one — as dropped."""
+        self.metrics.frame_dropped(frame_id, self.now)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.frame_dropped(
+                trace_id_for(self.pipeline_name, frame_id),
+                device=self.device_name, actor=self.module_name,
+            )
+
     def record_stage(self, stage: str, seconds: float) -> None:
-        """Record one latency sample for a named pipeline stage."""
+        """Record one latency sample for a named pipeline stage.
+
+        With tracing on, the sample is mirrored as a ``stage.<name>`` span
+        ending now — so trace-derived stage means cross-check the
+        collector's exactly (see ``docs/TRACING.md``).
+        """
         self.metrics.record_stage(stage, seconds)
+        tracer = self.tracer
+        if tracer is not None and self._trace_span is not None:
+            tracer.record(
+                f"stage.{stage}", CAT_STAGE, parent=self._trace_span,
+                start=self.now - seconds, end=self.now,
+                device=self.device_name, actor=self.module_name,
+            )
 
     def log(self, text: str) -> None:
         self.wiring.logs.append((self.now, self.module_name, text))

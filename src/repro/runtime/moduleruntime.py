@@ -18,11 +18,12 @@ from ..devices.device import Device
 from ..errors import DeploymentError
 from ..frames.payloads import decode_frames_from_wire, encode_refs_for_wire
 from ..net.address import Address
-from ..net.message import KIND_SIGNAL, Message
+from ..net.message import H_TRACE, KIND_SIGNAL, Message
 from ..net.transport import Transport
 from ..sim.kernel import Kernel
 from ..sim.resources import Store
 from ..sim.signals import Signal
+from ..trace.span import CAT_COMPUTE, CAT_QUEUE, CAT_WIRE, SpanContext
 from .context import ModuleContext
 from .events import DATA, READY_SIGNAL, ModuleEvent
 from .module import Module
@@ -116,13 +117,22 @@ class ModuleRuntime:
     def drop_queued_events(self) -> int:
         """Device-crash semantics: events still queued in mailboxes are lost
         with RAM; their frame references are released so the store doesn't
-        leak. Returns the number of events dropped."""
+        leak, and the frames they carried are accounted as dropped (pruning
+        their in-flight metrics entries and closing their traces). Returns
+        the number of events dropped."""
         from ..frames.payloads import release_refs
 
         dropped = 0
         for deployed in self._deployed.values():
+            seen_frames: set[int] = set()
             for event in deployed.mailbox.drain():
                 release_refs(event.payload, self.device.frame_store)
+                payload = event.payload
+                if isinstance(payload, dict) and "frame_id" in payload:
+                    frame_id = payload["frame_id"]
+                    if frame_id not in seen_frames:
+                        seen_frames.add(frame_id)
+                        deployed.ctx.frame_dropped(frame_id)
                 dropped += 1
         return dropped
 
@@ -203,14 +213,21 @@ class ModuleRuntime:
         headers: dict[str, Any],
     ) -> Message:
         wire_kind = KIND_SIGNAL if kind == READY_SIGNAL else kind
+        headers = dict(headers)
+        # the trace context joins event_kind *after* construction: runtime
+        # metadata stays outside the charged envelope (message.size_bytes is
+        # fixed in __post_init__), so tracing cannot change wire timing
+        trace = headers.pop(H_TRACE, None)
         message = Message(
             kind=wire_kind,
             dst=target_address,
             payload=payload,
             src=source_address,
-            headers=dict(headers),
+            headers=headers,
         )
         message.headers["event_kind"] = kind
+        if trace is not None:
+            message.headers[H_TRACE] = trace
         return message
 
     def _forward(self, message: Message, done: Signal) -> None:
@@ -228,6 +245,22 @@ class ModuleRuntime:
             headers=dict(message.headers),
             enqueued_at=self.kernel.now,
         )
+        tracer = deployed.ctx.wiring.tracer
+        if tracer is not None:
+            parent = SpanContext.from_header(message.headers.get(H_TRACE))
+            if (
+                parent is not None
+                and message.src is not None
+                and message.src.device != self.device.name
+                and message.sent_at is not None
+                and message.delivered_at is not None
+            ):
+                tracer.record(
+                    "wire.transfer", CAT_WIRE, parent=parent,
+                    start=message.sent_at, end=message.delivered_at,
+                    device=self.device.name, actor=deployed.name,
+                    bytes=message.size_bytes, src=message.src.device,
+                )
         deployed.mailbox.put(event)
         deployed.max_mailbox_depth = max(
             deployed.max_mailbox_depth, deployed.mailbox_depth
@@ -251,6 +284,24 @@ class ModuleRuntime:
             # dequeued_at marks handler start: mailbox wait + arrival decode
             # + dispatch overhead are all 'time to load the data' (Fig. 6)
             event.dequeued_at = self.kernel.now
+            ctx = deployed.ctx
+            tracer = ctx.wiring.tracer
+            handler_ctx = None
+            if tracer is not None:
+                root = SpanContext.from_header(event.headers.get(H_TRACE))
+                ctx._trace_root = root
+                ctx._trace_span = None
+                if root is not None:
+                    tracer.record(
+                        "mailbox.wait", CAT_QUEUE, parent=root,
+                        start=event.enqueued_at, end=self.kernel.now,
+                        device=self.device.name, actor=deployed.name,
+                    )
+                    handler_ctx = tracer.child_context(root)
+                    ctx._trace_root = root
+                    ctx._trace_span = handler_ctx
+                    handler_started = self.kernel.now
+            failed = False
             try:
                 if event.kind == READY_SIGNAL:
                     result = module.on_ready_signal(deployed.ctx, event)
@@ -261,8 +312,19 @@ class ModuleRuntime:
                         result, name=f"{deployed.name}.handler"
                     )
             except Exception as exc:  # a module crash must not kill the device
+                failed = True
                 deployed.errors.append(exc)
                 deployed.ctx.metrics.increment("module_errors")
+            if handler_ctx is not None:
+                tracer.record_span(
+                    handler_ctx, f"module.{deployed.name}", CAT_COMPUTE,
+                    start=handler_started, end=self.kernel.now,
+                    device=self.device.name, actor=deployed.name,
+                    ok=not failed,
+                )
+            if tracer is not None:
+                ctx._trace_root = None
+                ctx._trace_span = None
             deployed.events_processed += 1
 
     def _wiring_of(self, module_name: str) -> "PipelineWiring":

@@ -29,6 +29,9 @@ class PipelineWiring:
     metrics: MetricsCollector = field(default_factory=MetricsCollector)
     #: free-form log of (time, module, text) entries.
     logs: list[tuple[float, str, str]] = field(default_factory=list)
+    #: the home's :class:`~repro.trace.recorder.TraceRecorder`, or ``None``
+    #: while tracing is off (set by ``VideoPipe.enable_tracing``).
+    tracer: Any = None
 
     def address_of(self, module_name: str) -> Address:
         try:

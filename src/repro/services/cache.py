@@ -109,13 +109,24 @@ class ResultCache:
             self.evictions += 1
 
     def invalidate(self, prefix: str | None = None) -> int:
-        """Drop entries (all, or those whose key starts with *prefix*);
-        returns how many were removed."""
+        """Drop entries; returns how many were removed.
+
+        ``prefix=None`` clears everything. A bare service name (no ``":"``)
+        matches on the ``"name:"`` boundary, so invalidating ``"pose"``
+        leaves ``"pose_v2:..."`` entries alone. A prefix that already
+        contains ``":"`` (e.g. ``"pose:ab12"``) matches raw, allowing
+        digest-range invalidation.
+
+        Note: the ``invalidations`` statistic counts *entries removed*, not
+        calls to this method — invalidating an already-empty cache leaves
+        it unchanged.
+        """
         if prefix is None:
             removed = len(self._entries)
             self._entries.clear()
         else:
-            doomed = [k for k in self._entries if k.startswith(prefix)]
+            needle = prefix if ":" in prefix else prefix + ":"
+            doomed = [k for k in self._entries if k.startswith(needle)]
             for key in doomed:
                 del self._entries[key]
             removed = len(doomed)

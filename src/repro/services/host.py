@@ -29,7 +29,7 @@ from ..devices.device import Device
 from ..errors import Interrupt, ServiceError
 from ..frames.payloads import decode_frames_inline, resolve_refs
 from ..net.address import Address
-from ..net.message import Message
+from ..net.message import H_TRACE, Message
 from ..net.rpc import RpcServer
 from ..net.transport import Transport
 from ..sim.events import Event
@@ -37,6 +37,13 @@ from ..sim.kernel import Kernel
 from ..sim.process import Process
 from ..sim.resources import Resource
 from ..sim.signals import Signal
+from ..trace.span import (
+    CAT_COMPUTE,
+    CAT_QUEUE,
+    CAT_SERIALIZE,
+    CAT_WIRE,
+    SpanContext,
+)
 from .base import Service, ServiceCallContext
 from .cache import MISS, ResultCache, payload_cache_key
 
@@ -99,9 +106,9 @@ class ServiceHost:
         self._batch_max = 1
         self._batch_wait_s = 0.0
         #: queued-but-not-dispatched requests awaiting batch formation:
-        #: (payload, decode_cost, done, cache_key, enqueued_at).
+        #: (payload, decode_cost, done, cache_key, enqueued_at, trace).
         self._batch_pending: list[
-            tuple[Any, float, Signal, str | None, float]
+            tuple[Any, float, Signal, str | None, float, SpanContext | None]
         ] = []
         self._batch_timer: Event | None = None
         #: True while the armed timer is a company *probe* (positive wait),
@@ -122,6 +129,9 @@ class ServiceHost:
         self.batched_calls = 0
         #: dispatch-size histogram (only populated while batching is on).
         self.batch_size_counts: Counter[int] = Counter()
+        #: the home's :class:`~repro.trace.recorder.TraceRecorder`, or
+        #: ``None`` while tracing is off (set by ``enable_tracing``).
+        self.tracer: Any = None
 
     @property
     def service_name(self) -> str:
@@ -199,8 +209,36 @@ class ServiceHost:
             self.cache_hits += 1
         return value
 
+    # -- tracing -------------------------------------------------------------
+    def _trace_span(
+        self,
+        trace: SpanContext | None,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        **attrs: Any,
+    ) -> None:
+        """Record a server-side span under the caller's call context; a
+        no-op whenever tracing is off or the call carried no context."""
+        if self.tracer is None or trace is None:
+            return
+        self.tracer.record(
+            name, category, parent=trace, start=start, end=end,
+            device=self.device.name, actor=f"service:{self.service_name}",
+            **attrs,
+        )
+
+    def _trace_cache_hit(self, trace: SpanContext | None) -> None:
+        if self.tracer is None or trace is None:
+            return
+        self.tracer.annotate(
+            "cache.hit", parent=trace,
+            device=self.device.name, actor=f"service:{self.service_name}",
+        )
+
     # -- call paths -----------------------------------------------------------
-    def call_local(self, payload: Any) -> Signal:
+    def call_local(self, payload: Any, trace: SpanContext | None = None) -> Signal:
         """Co-located call: refs resolve in-place, nothing is serialized.
 
         With a result cache attached, a repeated payload returns an
@@ -215,10 +253,11 @@ class ServiceHost:
         key = self._cache_key(payload, use_store=True)
         cached = self._cache_lookup(key)
         if cached is not MISS:
+            self._trace_cache_hit(trace)
             return self.kernel.signal(
                 name=f"{self.service_name}.call"
             ).succeed(cached)
-        return self._submit(payload, decode_cost=0.0, key=key)
+        return self._submit(payload, decode_cost=0.0, key=key, trace=trace)
 
     def _handle_remote(self, payload: Any, message: Message) -> Signal:
         """Remote call: pay frame decode before the service sees the data.
@@ -227,6 +266,17 @@ class ServiceHost:
         request skips the decode as well as the service execution.
         """
         self.remote_calls += 1
+        trace = None
+        if self.tracer is not None:
+            trace = SpanContext.from_header(message.headers.get(H_TRACE))
+            if (trace is not None and message.sent_at is not None
+                    and message.delivered_at is not None):
+                self._trace_span(
+                    trace, "rpc.transfer", CAT_WIRE,
+                    start=message.sent_at, end=message.delivered_at,
+                    bytes=message.size_bytes,
+                    src=message.src.device if message.src else "?",
+                )
         if not self.up:  # crash raced an in-flight request
             self.errors += 1
             return self.kernel.signal(name=f"{self.service_name}.call").fail(
@@ -235,41 +285,60 @@ class ServiceHost:
         key = self._cache_key(payload, use_store=True)
         cached = self._cache_lookup(key)
         if cached is not MISS:
+            self._trace_cache_hit(trace)
             return self.kernel.signal(
                 name=f"{self.service_name}.call"
             ).succeed(cached)
         localized, decode_cost = decode_frames_inline(payload)
-        return self._submit(localized, decode_cost=decode_cost, key=key)
+        return self._submit(localized, decode_cost=decode_cost, key=key,
+                            trace=trace)
 
     # -- execution ---------------------------------------------------------------
-    def _submit(self, payload: Any, decode_cost: float, key: str | None) -> Signal:
+    def _submit(self, payload: Any, decode_cost: float, key: str | None,
+                trace: SpanContext | None = None) -> Signal:
         if self._effective_max_batch() > 1:
-            return self._enqueue_batch(payload, decode_cost, key)
-        return self._execute(payload, decode_cost, key)
+            return self._enqueue_batch(payload, decode_cost, key, trace)
+        return self._execute(payload, decode_cost, key, trace)
 
-    def _execute(self, payload: Any, decode_cost: float, key: str | None) -> Signal:
+    def _execute(self, payload: Any, decode_cost: float, key: str | None,
+                 trace: SpanContext | None = None) -> Signal:
         done = self.kernel.signal(name=f"{self.service_name}.call")
         proc = self.kernel.process(
-            self._run(payload, decode_cost, done, key),
+            self._run(payload, decode_cost, done, key, trace),
             name=f"{self.service_name}.exec",
         )
         self._inflight[done] = proc
         return done
 
-    def _run(self, payload: Any, decode_cost: float, done: Signal, key: str | None):
+    def _run(self, payload: Any, decode_cost: float, done: Signal,
+             key: str | None, trace: SpanContext | None = None):
         grant = None
         result = None
         try:
             grant = yield self.workers.request()
             self.total_wait_s += grant.wait_time
             started = self.kernel.now
+            if grant.wait_time > 0:
+                self._trace_span(
+                    trace, "service.queue", CAT_QUEUE,
+                    start=started - grant.wait_time, end=started,
+                )
             if decode_cost > 0:
                 yield self.device.cpu.execute_fixed(decode_cost)
+                self._trace_span(
+                    trace, "rpc.deserialize", CAT_SERIALIZE,
+                    start=started, end=self.kernel.now,
+                )
+            compute_started = self.kernel.now
             resolved = resolve_refs(payload, self.device.frame_store)
             cost = self.service.compute_cost(resolved)
             if cost > 0:
                 yield self.device.cpu.execute(cost)
             result = self.service.handle(resolved, self._ctx)
+            self._trace_span(
+                trace, f"service.compute:{self.service_name}", CAT_COMPUTE,
+                start=compute_started, end=self.kernel.now,
+            )
             self.total_busy_s += self.kernel.now - started
         except Interrupt as stop:
             if done.pending:
@@ -315,10 +384,11 @@ class ServiceHost:
         return self.workers.available > 0 and self.workers.queue_length == 0
 
     def _enqueue_batch(self, payload: Any, decode_cost: float,
-                       key: str | None) -> Signal:
+                       key: str | None,
+                       trace: SpanContext | None = None) -> Signal:
         done = self.kernel.signal(name=f"{self.service_name}.call")
         self._batch_pending.append(
-            (payload, decode_cost, done, key, self.kernel.now)
+            (payload, decode_cost, done, key, self.kernel.now, trace)
         )
         if self._worker_free():
             if len(self._batch_pending) >= self._effective_max_batch():
@@ -377,33 +447,52 @@ class ServiceHost:
             self._schedule_flush(self._batch_wait_s)
 
     def _dispatch_batch(
-        self, items: list[tuple[Any, float, Signal, str | None, float]]
+        self,
+        items: list[tuple[Any, float, Signal, str | None, float,
+                          SpanContext | None]],
     ) -> None:
         proc = self.kernel.process(
             self._run_batch(items), name=f"{self.service_name}.exec"
         )
-        for _, _, done, _, _ in items:
+        for _, _, done, _, _, _ in items:
             self._inflight[done] = proc
 
-    def _run_batch(self, items: list[tuple[Any, float, Signal, str | None, float]]):
+    def _run_batch(
+        self,
+        items: list[tuple[Any, float, Signal, str | None, float,
+                          SpanContext | None]],
+    ):
         grant = None
         results: list[Any] | None = None
-        dones = [done for _, _, done, _, _ in items]
+        dones = [done for _, _, done, _, _, _ in items]
         try:
             grant = yield self.workers.request()
             # availability is accurate again: further pending work may have
             # room on the remaining replicas
             self._pump_batches()
             started = self.kernel.now
-            for _, _, _, _, enqueued_at in items:
+            for _, _, _, _, enqueued_at, trace in items:
                 self.total_wait_s += started - enqueued_at
-            total_decode = sum(dc for _, dc, _, _, _ in items)
+                if started > enqueued_at:
+                    self._trace_span(
+                        trace, "service.batch_wait", CAT_QUEUE,
+                        start=enqueued_at, end=started,
+                    )
+            total_decode = sum(dc for _, dc, _, _, _, _ in items)
             if total_decode > 0:
                 yield self.device.cpu.execute_fixed(total_decode)
+            decode_done = self.kernel.now
+            for _, dc, _, _, _, trace in items:
+                if dc > 0:
+                    self._trace_span(
+                        trace, "rpc.deserialize", CAT_SERIALIZE,
+                        start=started, end=decode_done,
+                    )
             resolved = [
                 resolve_refs(p, self.device.frame_store)
-                for p, _, _, _, _ in items
+                for p, _, _, _, _, _ in items
             ]
+            compute_started = self.kernel.now
             cost = self.service.batch_compute_cost(resolved)
             if cost > 0:
                 yield self.device.cpu.execute(cost)
@@ -425,6 +514,13 @@ class ServiceHost:
                         results.append(self.service.handle(payload, self._ctx))
                     except Exception as exc:
                         results.append(_BatchItemError(exc))
+            compute_done = self.kernel.now
+            for _, _, _, _, _, trace in items:
+                self._trace_span(
+                    trace, f"service.compute:{self.service_name}",
+                    CAT_COMPUTE, start=compute_started, end=compute_done,
+                    batch_size=len(items),
+                )
             self.total_busy_s += self.kernel.now - started
             self.batched_calls += 1
             self.batch_size_counts[len(items)] += 1
@@ -452,7 +548,7 @@ class ServiceHost:
             self._pump_batches()
         now = self.kernel.now
         assert results is not None
-        for (_, _, done, key, _), result in zip(items, results):
+        for (_, _, done, key, _, _), result in zip(items, results):
             if isinstance(result, _BatchItemError):
                 self.errors += 1
                 if done.pending:
@@ -511,7 +607,7 @@ class ServiceHost:
             self._batch_timer = None
         pending, self._batch_pending = self._batch_pending, []
         self.dropped_in_flight += len(pending)
-        for _, _, done, _, _ in pending:
+        for _, _, done, _, _, _ in pending:
             if done.pending:
                 done.fail(ServiceError(f"call dropped: {reason}"))
 

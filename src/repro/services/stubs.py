@@ -75,8 +75,13 @@ class ServiceStub:
     def is_local(self) -> bool:
         raise NotImplementedError
 
-    def call(self, payload: Any) -> Signal:
-        """Invoke the service; the signal resolves with the result."""
+    def call(self, payload: Any, trace: Any = None) -> Signal:
+        """Invoke the service; the signal resolves with the result.
+
+        *trace* is the caller's pre-minted span context for this call (a
+        :class:`~repro.trace.span.SpanContext`), or ``None`` when tracing
+        is off; the callee parents its queue/compute spans to it.
+        """
         raise NotImplementedError
 
 
@@ -91,9 +96,9 @@ class LocalServiceStub(ServiceStub):
     def is_local(self) -> bool:
         return True
 
-    def call(self, payload: Any) -> Signal:
+    def call(self, payload: Any, trace: Any = None) -> Signal:
         self.calls += 1
-        return self.host.call_local(payload)
+        return self.host.call_local(payload, trace=trace)
 
 
 #: Reference CPU seconds to marshal one remote API request or reply (JSON /
@@ -155,7 +160,7 @@ class RemoteServiceStub(ServiceStub):
     def is_local(self) -> bool:
         return False
 
-    def call(self, payload: Any) -> Signal:
+    def call(self, payload: Any, trace: Any = None) -> Signal:
         self.calls += 1
         wire_payload, encode_cost, shipped = encode_refs_for_wire(
             payload, self.caller_device.frame_store, release=False
@@ -163,12 +168,16 @@ class RemoteServiceStub(ServiceStub):
         self.frames_shipped += shipped
         done = self.kernel.signal(name=f"remote:{self.service_name}")
         self.kernel.process(
-            self._call(wire_payload, encode_cost, done),
+            self._call(wire_payload, encode_cost, done, trace),
             name=f"remote-call.{self.service_name}",
         )
         return done
 
-    def _call(self, wire_payload: Any, encode_cost: float, done: Signal):
+    def _call(self, wire_payload: Any, encode_cost: float, done: Signal,
+              trace: Any = None):
+        from ..net.message import H_TRACE
+
+        headers = {H_TRACE: trace.header()} if trace is not None else None
         try:
             started = self.kernel.now
             if encode_cost > 0:
@@ -179,7 +188,8 @@ class RemoteServiceStub(ServiceStub):
             while True:
                 try:
                     result = yield self._client.call(
-                        self.target_address, wire_payload, timeout=self.timeout_s
+                        self.target_address, wire_payload,
+                        timeout=self.timeout_s, headers=headers,
                     )
                     break
                 except NetworkError as exc:

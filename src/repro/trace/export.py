@@ -1,0 +1,99 @@
+"""Chrome trace-event export.
+
+Serializes recorded spans into the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto: a JSON object with a ``traceEvents``
+list. Each timed span becomes a complete event (``"ph": "X"``) with
+microsecond ``ts``/``dur``; zero-duration annotations become thread-scoped
+instant events (``"ph": "i"``). Devices map to processes and actors
+(modules, services) to threads, named through ``"M"`` metadata events, so
+the viewer lays the home out as one swimlane per device with one row per
+module/service — the frame's hop across devices reads left to right.
+
+Span identity (trace/span/parent ids) and attributes ride in ``args``, so
+clicking a slice in the viewer shows which frame it belongs to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .span import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .recorder import TraceRecorder
+
+
+def _lanes(spans: list[Span]) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Stable pid/tid assignment: devices and actors in sorted order."""
+    devices = sorted({span.device or "home" for span in spans})
+    pids = {device: index + 1 for index, device in enumerate(devices)}
+    actors = sorted({(span.device or "home", span.actor or "-")
+                     for span in spans})
+    tids: dict[tuple[str, str], int] = {}
+    per_device: dict[str, int] = {}
+    for device, actor in actors:
+        per_device[device] = per_device.get(device, 0) + 1
+        tids[(device, actor)] = per_device[device]
+    return pids, tids
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for *spans* (metadata events included)."""
+    spans = list(spans)
+    pids, tids = _lanes(spans)
+    events: list[dict[str, Any]] = []
+    for device, pid in pids.items():
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": device},
+        })
+    for (device, actor), tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pids[device], "tid": tid,
+            "args": {"name": actor},
+        })
+    for span in spans:
+        device = span.device or "home"
+        actor = span.actor or "-"
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": pids[device],
+            "tid": tids[(device, actor)],
+            "ts": span.start * 1e6,
+            "args": {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **span.attrs,
+            },
+        }
+        if span.end > span.start:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        events.append(event)
+    return events
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """The full Chrome-trace JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.trace"},
+    }
+
+
+def write_chrome_trace(
+    source: "TraceRecorder | Iterable[Span]", path: str
+) -> str:
+    """Write the trace of *source* (a recorder or a span iterable) to
+    *path*; returns the path."""
+    spans = getattr(source, "spans", source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(spans), fh)
+    return path

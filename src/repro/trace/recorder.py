@@ -1,0 +1,199 @@
+"""The per-kernel span sink.
+
+One :class:`TraceRecorder` serves a whole home: every instrumented
+component (module runtimes, service hosts, the module context) records into
+it, reading time from the shared kernel. Root spans — one per admitted
+frame — stay *open* from ``frame_started`` until ``frame_finished`` (or
+``frame_dropped``), so a frame's end-to-end span has the true completion
+time; child spans are recorded retrospectively with explicit start/end.
+
+The recorder is intentionally passive: it never schedules kernel events and
+never mutates what it observes, so tracing cannot perturb the simulation
+(see ``docs/TRACING.md`` for the full no-observer-effect guarantee).
+
+``max_spans`` bounds memory on long runs: past the cap new spans are
+counted in ``dropped_spans`` and discarded (open frame roots still close
+correctly — their slot was reserved at admission).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .span import CAT_FRAME, CAT_MARK, Span, SpanContext, trace_id_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Kernel
+
+
+@dataclass(slots=True)
+class _OpenFrame:
+    context: SpanContext
+    start: float
+    device: str
+    actor: str
+
+
+class TraceRecorder:
+    """Collects spans for every traced frame running on one kernel."""
+
+    def __init__(self, kernel: "Kernel", max_spans: int = 1_000_000) -> None:
+        self.kernel = kernel
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._open_frames: dict[str, _OpenFrame] = {}
+        # statistics
+        self.dropped_spans = 0
+        self.frames_started = 0
+        self.frames_finished = 0
+        self.frames_dropped = 0
+
+    # -- identity ------------------------------------------------------------
+    def child_context(self, parent: SpanContext) -> SpanContext:
+        """A fresh span identity under *parent* (record it later with
+        :meth:`record_span`, or ship it in a header first)."""
+        return SpanContext(parent.trace_id, next(self._ids), parent.span_id)
+
+    # -- frame lifecycle -------------------------------------------------------
+    def frame_started(
+        self, pipeline: str, frame_id: int, device: str = "", actor: str = ""
+    ) -> SpanContext:
+        """Open the root span for one admitted frame; returns its context
+        (the parent of everything that happens to the frame)."""
+        trace_id = trace_id_for(pipeline, frame_id)
+        stale = self._open_frames.pop(trace_id, None)
+        if stale is not None:  # duplicate admission: close the stale root
+            self._close_frame(stale, self.kernel.now, outcome="superseded")
+        context = SpanContext(trace_id, next(self._ids), None)
+        self._open_frames[trace_id] = _OpenFrame(
+            context, self.kernel.now, device, actor
+        )
+        self.frames_started += 1
+        self.annotate("source.admit", parent=context, device=device, actor=actor)
+        return context
+
+    def frame_finished(self, trace_id: str, **attrs: Any) -> None:
+        """Close a frame's root span at the current time (no-op when the
+        frame was never traced — e.g. tracing enabled mid-run)."""
+        open_frame = self._open_frames.pop(trace_id, None)
+        if open_frame is None:
+            return
+        self.frames_finished += 1
+        self._close_frame(open_frame, self.kernel.now, outcome="completed",
+                          **attrs)
+
+    def frame_dropped(self, trace_id: str, **attrs: Any) -> None:
+        """Close a frame's root span as dropped (chaos, migration, source)."""
+        open_frame = self._open_frames.pop(trace_id, None)
+        if open_frame is None:
+            return
+        self.frames_dropped += 1
+        self._close_frame(open_frame, self.kernel.now, outcome="dropped",
+                          **attrs)
+
+    def _close_frame(self, open_frame: _OpenFrame, end: float,
+                     outcome: str, **attrs: Any) -> None:
+        self._append(Span(
+            trace_id=open_frame.context.trace_id,
+            span_id=open_frame.context.span_id,
+            parent_id=None,
+            name="frame",
+            category=CAT_FRAME,
+            start=open_frame.start,
+            end=end,
+            device=open_frame.device,
+            actor=open_frame.actor,
+            attrs={"outcome": outcome, **attrs},
+        ))
+
+    # -- recording -------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        category: str,
+        *,
+        parent: SpanContext,
+        start: float,
+        end: float,
+        device: str = "",
+        actor: str = "",
+        **attrs: Any,
+    ) -> SpanContext:
+        """Record a completed child span of *parent*; returns its context."""
+        context = self.child_context(parent)
+        self.record_span(context, name, category, start=start, end=end,
+                         device=device, actor=actor, **attrs)
+        return context
+
+    def record_span(
+        self,
+        context: SpanContext,
+        name: str,
+        category: str,
+        *,
+        start: float,
+        end: float,
+        device: str = "",
+        actor: str = "",
+        **attrs: Any,
+    ) -> None:
+        """Record a span whose identity was created earlier (so children —
+        possibly on other devices — could already parent to it)."""
+        self._append(Span(
+            trace_id=context.trace_id,
+            span_id=context.span_id,
+            parent_id=context.parent_id,
+            name=name,
+            category=category,
+            start=start,
+            end=end,
+            device=device,
+            actor=actor,
+            attrs=dict(attrs),
+        ))
+
+    def annotate(
+        self,
+        name: str,
+        *,
+        parent: SpanContext,
+        device: str = "",
+        actor: str = "",
+        **attrs: Any,
+    ) -> None:
+        """A zero-duration marker (cache hit, admission, completion)."""
+        now = self.kernel.now
+        self.record(name, CAT_MARK, parent=parent, start=now, end=now,
+                    device=device, actor=actor, **attrs)
+
+    def _append(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.spans.append(span)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def open_frame_count(self) -> int:
+        return len(self._open_frames)
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Recorded spans grouped by trace id (insertion order preserved)."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceRecorder {self.span_count} spans,"
+            f" {self.frames_finished}/{self.frames_started} frames,"
+            f" {self.open_frame_count} open>"
+        )

@@ -285,6 +285,37 @@ class TestReplicaFailover:
 
 
 @pytest.mark.chaos
+class TestTotalOutage:
+    def test_summaries_survive_a_run_with_no_completions(
+            self, fitness_recognizer):
+        """Regression: a chaos plan that kills every device before the first
+        frame completes used to make the metrics summaries raise ValueError
+        (``summarize([])``). They must report empty instead."""
+        home = VideoPipe.paper_testbed(seed=14)
+        _, pipeline = deploy_chaos(home, fitness_recognizer, fps=10.0,
+                                   standby=False)
+        plan = FaultPlan()
+        for device in ("phone", "desktop", "tv"):
+            plan.device_crash(0.05, device, down_for=100.0)
+        home.enable_fault_injection(plan)
+        home.run(until=5.0)
+
+        metrics = pipeline.metrics
+        # at most the in-flight frame's failure path fired; no frame ever
+        # reached the display, so no stage was recorded anywhere
+        assert metrics.counter("frames_completed") <= 2
+        assert metrics.stage_names() == []
+        assert metrics.stage_means_ms() == {}
+        # the summaries report empty instead of raising ValueError
+        assert metrics.stage_summary("total_duration").count == 0
+        latency = metrics.total_latency_summary()
+        assert latency.count == len(metrics.total_latencies)
+        # the probe-facing accounting stayed coherent too
+        entered = metrics.counter("frames_entered")
+        assert 0 < metrics.frames_in_flight <= entered
+
+
+@pytest.mark.chaos
 class TestChaosDeterminism:
     def test_same_plan_same_seed_identical_run(self, fitness_recognizer):
         """Acceptance: fault injection is fully deterministic — same

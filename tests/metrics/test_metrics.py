@@ -56,6 +56,23 @@ class TestRateMeter:
         with pytest.raises(ValueError):
             RateMeter().rate(end_time=1.0, warmup_s=1.0)
 
+    def test_ticks_after_end_time_excluded(self):
+        """Regression: ticks past ``end_time`` (a meter read mid-run, or a
+        meter reused across windows) must not inflate the rate."""
+        meter = RateMeter()
+        for t in [0.5, 1.0, 1.5, 2.0, 2.5, 7.0]:
+            meter.tick(t)
+        assert meter.rate(end_time=2.0) == pytest.approx(2.0)
+        assert meter.rate(end_time=2.0, warmup_s=1.0) == pytest.approx(3.0)
+        # the full window still sees everything
+        assert meter.rate(end_time=7.0) == pytest.approx(6.0 / 7.0)
+
+    def test_window_edges_are_inclusive(self):
+        meter = RateMeter()
+        meter.tick(1.0)
+        meter.tick(2.0)
+        assert meter.rate(end_time=2.0, warmup_s=1.0) == pytest.approx(2.0)
+
 
 class TestMetricsCollector:
     def test_stage_recording(self):
@@ -97,6 +114,43 @@ class TestMetricsCollector:
         assert collector.counter("drops") == 5
         assert collector.counter("missing") == 0
         assert collector.counters() == {"drops": 5}
+
+    def test_frame_dropped_prunes_start_entry(self):
+        """Regression: a frame dropped mid-flight used to leak its
+        ``_frame_started`` slot for the rest of the run."""
+        collector = MetricsCollector("p")
+        collector.frame_entered(1, 0.0)
+        collector.frame_entered(2, 0.1)
+        assert collector.frames_in_flight == 2
+        collector.frame_dropped(1, 0.5)
+        assert collector.frames_in_flight == 1
+        assert collector.counter("frames_dropped") == 1
+        # a late completion of the dropped frame records no bogus latency
+        collector.frame_completed(1, 9.0)
+        assert collector.total_latencies == []
+        collector.frame_completed(2, 0.3)
+        assert collector.total_latencies == [pytest.approx(0.2)]
+
+    def test_frame_dropped_before_admission_is_safe(self):
+        """The source drops frames it never admitted (no credit); those
+        still count, without a start entry to prune."""
+        collector = MetricsCollector("p")
+        collector.frame_dropped(42, 1.0)
+        assert collector.counter("frames_dropped") == 1
+        assert collector.frames_in_flight == 0
+
+    def test_empty_summaries_do_not_raise(self):
+        """Regression: ``stage_summary``/``total_latency_summary`` raised
+        ValueError (and ``stage_summary`` grew a phantom stage via the
+        defaultdict) when nothing was recorded."""
+        collector = MetricsCollector("p")
+        summary = collector.stage_summary("never_recorded")
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert collector.stage_names() == []  # no defaultdict side effect
+        latency = collector.total_latency_summary()
+        assert latency.count == 0
+        assert collector.stage_means_ms() == {}
 
 
 class TestReport:

@@ -138,6 +138,33 @@ class TestCircuitBreaker:
         assert not breaker.allow(now=3.9)
         assert breaker.allow(now=4.0)
 
+    def test_probe_in_flight_blocks_callers_across_windows(self):
+        """Regression guard: a slow probe holds the half-open slot — a
+        second caller is rejected even after *another* reset window has
+        elapsed with the probe still unresolved."""
+        breaker = self.make(threshold=1, reset=2.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=2.0)  # the probe departs, never resolves
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(now=4.5)  # a whole extra window later
+        assert not breaker.allow(now=40.0)
+        assert breaker.rejections == 2
+
+    def test_half_open_failure_rearms_from_the_failure_time(self):
+        """The re-opened window is a full ``reset_timeout_s`` measured from
+        when the probe *failed*, not from the original trip (or the probe's
+        departure) — a slow-failing probe must not shorten the cooldown."""
+        breaker = self.make(threshold=1, reset=2.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=2.0)  # probe departs...
+        breaker.record_failure(now=3.5)  # ...and fails 1.5 s later
+        assert breaker.state == OPEN
+        # 0.0 + 2*reset and 2.0 + reset have both passed; 3.5 + reset has not
+        assert not breaker.allow(now=4.0)
+        assert not breaker.allow(now=5.4)
+        assert breaker.allow(now=5.5)
+        assert breaker.state == HALF_OPEN
+
     def test_success_resets_the_failure_streak(self):
         breaker = self.make(threshold=3)
         breaker.record_failure(now=0.0)

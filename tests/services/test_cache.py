@@ -63,6 +63,32 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.invalidations == 3
 
+    def test_invalidate_bare_name_respects_the_key_boundary(self):
+        """Regression: invalidating service ``"pose"`` used to match any
+        key *starting with* ``pose`` — wiping ``pose_v2``'s entries too."""
+        cache = ResultCache()
+        cache.store("pose:aa", 1, now=0.0)
+        cache.store("pose_v2:aa", 2, now=0.0)
+        assert cache.invalidate(prefix="pose") == 1
+        assert "pose_v2:aa" in cache
+        assert "pose:aa" not in cache
+
+    def test_invalidate_with_colon_matches_raw_for_digest_ranges(self):
+        cache = ResultCache()
+        cache.store("pose:ab12", 1, now=0.0)
+        cache.store("pose:cd34", 2, now=0.0)
+        assert cache.invalidate(prefix="pose:ab") == 1
+        assert "pose:cd34" in cache
+
+    def test_invalidations_counts_entries_removed_not_calls(self):
+        cache = ResultCache()
+        cache.store("pose:aa", 1, now=0.0)
+        cache.store("pose:bb", 2, now=0.0)
+        assert cache.invalidate(prefix="pose") == 2
+        assert cache.invalidate(prefix="pose") == 0  # already empty
+        assert cache.invalidate() == 0
+        assert cache.invalidations == 2
+
     def test_hit_rate(self):
         cache = ResultCache()
         assert cache.hit_rate() == 0.0
@@ -107,6 +133,19 @@ class TestPayloadCacheKey:
         assert payload_cache_key("pose", {"frame": ref}) is None
         store.release(ref)
         assert payload_cache_key("pose", {"frame": ref}, store=store) is None
+
+    def test_foreign_ref_is_uncacheable_not_a_crash(self):
+        """A ref minted by another device's store must degrade to
+        'no key' (skip the cache) rather than raise inside the host."""
+        phone_store = FrameStore("phone")
+        desktop_store = FrameStore("desktop")
+        foreign = phone_store.put(make_frame())
+        assert payload_cache_key("pose", {"frame": foreign},
+                                 store=desktop_store) is None
+        # and a mixed payload with one bad leaf is uncacheable as a whole
+        local = desktop_store.put(make_frame(frame_id=2))
+        assert payload_cache_key(
+            "pose", {"a": local, "b": foreign}, store=desktop_store) is None
 
 
 def counting_service(calls, cacheable=True, cost=0.010):

@@ -1,0 +1,69 @@
+"""Unit tests for the span model and context propagation encoding."""
+
+import pytest
+
+from repro.trace import (
+    CAT_COMPUTE,
+    CAT_FRAME,
+    Span,
+    SpanContext,
+    trace_id_for,
+)
+
+
+class TestTraceId:
+    def test_combines_pipeline_and_frame(self):
+        assert trace_id_for("fitness", 7) == "fitness/7"
+
+    def test_distinct_pipelines_never_collide(self):
+        assert trace_id_for("fitness", 1) != trace_id_for("scene", 1)
+
+
+class TestSpanContext:
+    def test_header_round_trip(self):
+        ctx = SpanContext("fitness/3", 42, parent_id=17)
+        restored = SpanContext.from_header(ctx.header())
+        assert restored is not None
+        assert restored.trace_id == "fitness/3"
+        assert restored.span_id == 42
+        # parent_id is link-local; it does not cross the wire
+        assert restored.parent_id is None
+
+    def test_header_is_wire_friendly(self):
+        header = SpanContext("fitness/3", 42).header()
+        assert header == ["fitness/3", 42]
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        "fitness/3",
+        42,
+        [],
+        ["fitness/3"],
+        ["fitness/3", 1, 2],
+        ["fitness/3", "not-an-int"],
+        {"trace_id": "fitness/3", "span_id": 1},
+    ])
+    def test_malformed_header_returns_none(self, bad):
+        assert SpanContext.from_header(bad) is None
+
+    def test_frozen(self):
+        ctx = SpanContext("t", 1)
+        with pytest.raises(AttributeError):
+            ctx.span_id = 2
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span("t", 1, None, "frame", CAT_FRAME, start=1.0, end=3.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_context_mirrors_identity(self):
+        span = Span("t", 9, 4, "module.x", CAT_COMPUTE, start=0.0, end=1.0)
+        ctx = span.context
+        assert ctx == SpanContext("t", 9, 4)
+
+    def test_attrs_default_to_empty_and_independent(self):
+        a = Span("t", 1, None, "a", CAT_COMPUTE, 0.0, 1.0)
+        b = Span("t", 2, None, "b", CAT_COMPUTE, 0.0, 1.0)
+        a.attrs["k"] = "v"
+        assert b.attrs == {}
