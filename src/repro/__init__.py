@@ -36,6 +36,7 @@ Quickstart::
 
 from .core import VideoPipe
 from .errors import (
+    AuditError,
     ConfigError,
     DeploymentError,
     DeviceError,
@@ -49,6 +50,7 @@ from .errors import (
 )
 from .faults import ChaosInjector, FaultEvent, FaultPlan
 from .pipeline import (
+    AuditConfig,
     ModuleConfig,
     Pipeline,
     PerfConfig,
@@ -63,6 +65,8 @@ from .services import Service, ServiceCallContext
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditConfig",
+    "AuditError",
     "ChaosInjector",
     "ConfigError",
     "DeploymentError",

@@ -1,0 +1,548 @@
+"""The runtime invariant auditor: conservation laws, checked while you run.
+
+VideoPipe's core claims — no queues anywhere, frame dropping only at the
+source, frames passed by reference id within a device (§3) — reduce to a
+small set of conservation laws and ordering invariants. The auditor checks
+them continuously and at quiesce, in the deterministic-simulation-testing
+tradition (FoundationDB-style): because the whole home runs on one
+deterministic kernel, every violation is exactly reproducible under the
+same seed.
+
+Invariants covered (see ``docs/AUDIT.md`` for the full statement of each):
+
+* **frame-ref conservation** per :class:`~repro.frames.framestore.FrameStore`
+  — every ``put`` is matched by releases, refcounts never go negative, and
+  at end-of-run ``live_count == 0`` with per-holder attribution;
+* **message conservation** per :class:`~repro.net.transport.Transport` —
+  ``sent == delivered + failed + in-flight`` at all times, with the
+  auditor's own in-flight mirror cross-checked against the transport's;
+* **sim-kernel hygiene** — clock monotonicity, no event scheduled in the
+  past;
+* **metrics conservation** per :class:`~repro.metrics.collector
+  .MetricsCollector` — frames admitted == completed + dropped + in-flight,
+  and the collector's in-flight table agrees with the auditor's mirror;
+* **autoscaler pacing** — consecutive scaling decisions for one host are
+  separated by the policy cooldown and stay inside
+  ``[min_replicas, max_replicas]`` (the pre-fix overlapping-window bug
+  bursts replicas and trips this immediately).
+
+Auditing is *passive*: the auditor never schedules kernel events, never
+consumes randomness, and never touches message sizes, so an audited run is
+bit-for-bit identical to an unaudited one — the same guarantee tracing
+makes, and the property ``tests/integration/test_audit.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import AuditError
+from ..pipeline.config import AuditConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..frames.framestore import FrameStore
+    from ..metrics.collector import MetricsCollector
+    from ..net.rpc import RpcClient
+    from ..net.transport import Transport
+    from ..services.scaling import AutoScaler, ScalingEvent
+    from ..sim.events import Event
+    from ..sim.kernel import Kernel
+
+#: Tolerance for float time comparisons (kernel times are exact sums of
+#: exact delays, but cooldown arithmetic subtracts them).
+_EPS = 1e-9
+
+#: Every live auditor, so test harnesses (the ``REPRO_AUDIT`` pytest gate)
+#: can sweep for violations without threading references around.
+_LIVE_AUDITORS: "weakref.WeakSet[InvariantAuditor]" = weakref.WeakSet()
+
+
+def live_auditors() -> list["InvariantAuditor"]:
+    """Every auditor currently alive in the process (weakly tracked)."""
+    return list(_LIVE_AUDITORS)
+
+
+@dataclass(slots=True)
+class Violation:
+    """One detected invariant violation.
+
+    Attributes:
+        at: simulated time the violation was detected.
+        invariant: which law broke (``frame-ref-conservation``,
+            ``message-conservation``, ``kernel-hygiene``,
+            ``metrics-conservation``, ``autoscaler-pacing``, ``rpc-quiesce``).
+        subject: the component involved (store device, transport class,
+            collector name, service@device).
+        detail: an actionable description — what was expected, what was
+            observed, and where to look.
+    """
+
+    at: float
+    invariant: str
+    subject: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[t={self.at:.6f}s] {self.invariant} on {self.subject}: {self.detail}"
+
+
+@dataclass(slots=True)
+class _StoreState:
+    """The auditor's mirror of one frame store's live references."""
+
+    refcounts: dict[int, int] = field(default_factory=dict)
+    held_since: dict[int, float] = field(default_factory=dict)
+    holds: int = 0
+    releases: int = 0
+
+
+@dataclass(slots=True)
+class _TransportState:
+    """Baseline counters and the in-flight mirror for one transport."""
+
+    base_sent: int = 0
+    base_delivered: int = 0
+    base_failed: int = 0
+    in_flight: dict[int, float] = field(default_factory=dict)  # msg_id -> sent at
+
+
+@dataclass(slots=True)
+class _MetricsState:
+    """Baseline counters and the admitted-frame mirror for one collector."""
+
+    base_entered: int = 0
+    base_completed: int = 0
+    base_dropped: int = 0
+    clean_at_watch: bool = True
+    in_flight: set = field(default_factory=set)
+    entered: int = 0
+    completed_admitted: int = 0
+    dropped_admitted: int = 0
+    dropped_unadmitted: int = 0
+
+
+class InvariantAuditor:
+    """Watches components and records :class:`Violation` objects.
+
+    One auditor serves a whole home (mirror ``enable_tracing``:
+    :meth:`repro.core.videopipe.VideoPipe.enable_audit` creates and wires
+    it). Components call the ``on_*`` notification methods at the exact
+    points their own bookkeeping changes; the auditor keeps an independent
+    mirror and flags any disagreement.
+
+    Attributes:
+        violations: recorded violations, oldest first (capped by
+            ``AuditConfig.max_violations``).
+        dropped_violations: violations past the cap (counted, not stored).
+        source: ``"explicit"`` for auditors built through the API,
+            ``"env"`` for those auto-enabled by ``REPRO_AUDIT=1``.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        config: AuditConfig | None = None,
+        source: str = "explicit",
+    ) -> None:
+        self.kernel = kernel
+        self.config = config or AuditConfig()
+        self.source = source
+        self.violations: list[Violation] = []
+        self.dropped_violations = 0
+        self.checks_run = 0
+        self._stores: dict[int, tuple["FrameStore", _StoreState]] = {}
+        self._transports: dict[int, tuple["Transport", _TransportState]] = {}
+        self._metrics: dict[int, tuple["MetricsCollector", _MetricsState]] = {}
+        self._scalers: dict[int, tuple["AutoScaler", dict]] = {}
+        self._rpc_clients: list["RpcClient"] = []
+        self._last_exec_time: float | None = None
+        self._kernel_attached = False
+        _LIVE_AUDITORS.add(self)
+
+    # -- recording ------------------------------------------------------------
+    @property
+    def violation_count(self) -> int:
+        """Total violations detected (stored + dropped past the cap)."""
+        return len(self.violations) + self.dropped_violations
+
+    def record(self, invariant: str, subject: str, detail: str) -> None:
+        """Record one violation (or raise, in strict mode)."""
+        violation = Violation(
+            at=self.kernel.now, invariant=invariant, subject=subject, detail=detail
+        )
+        if self.config.strict:
+            raise AuditError(violation.describe())
+        if len(self.violations) < self.config.max_violations:
+            self.violations.append(violation)
+        else:
+            self.dropped_violations += 1
+
+    def report(self) -> str:
+        """A human-readable multi-line report of everything detected."""
+        if not self.violation_count:
+            return "audit clean: no invariant violations detected"
+        lines = [
+            f"audit found {self.violation_count} violation(s)"
+            + (f" ({self.dropped_violations} past the cap, not stored)"
+               if self.dropped_violations else "")
+        ]
+        lines += [f"  {v.describe()}" for v in self.violations]
+        return "\n".join(lines)
+
+    # -- kernel hygiene ---------------------------------------------------------
+    def attach_kernel(self, kernel: "Kernel") -> None:
+        """Observe *kernel* for clock monotonicity and past-scheduling."""
+        if not self._kernel_attached:
+            kernel.add_observer(self)
+            self._kernel_attached = True
+
+    def on_schedule(self, now: float, event: "Event") -> None:
+        if event.time < now - _EPS:
+            self.record(
+                "kernel-hygiene",
+                "kernel",
+                f"event scheduled in the past: event time {event.time:.6f}s"
+                f" < now {now:.6f}s (seq {event.seq})",
+            )
+
+    def on_execute(self, now: float, event: "Event") -> None:
+        if event.time < now - _EPS:
+            self.record(
+                "kernel-hygiene",
+                "kernel",
+                f"clock would run backwards: popped event at {event.time:.6f}s"
+                f" with clock at {now:.6f}s (seq {event.seq}) — the event"
+                " queue was corrupted after scheduling",
+            )
+        last = self._last_exec_time
+        if last is not None and event.time < last - _EPS:
+            self.record(
+                "kernel-hygiene",
+                "kernel",
+                f"non-monotonic execution order: event at {event.time:.6f}s"
+                f" after one at {last:.6f}s",
+            )
+        else:
+            self._last_exec_time = event.time
+
+    # -- frame-ref conservation ---------------------------------------------------
+    def watch_store(self, store: "FrameStore") -> None:
+        """Mirror *store*'s refcounts; flag negatives now and leaks at quiesce."""
+        if id(store) in self._stores:
+            return
+        store.auditor = self
+        state = _StoreState()
+        # a store watched mid-run starts with its current live refs mirrored
+        for ref_id, count in store._refcounts.items():
+            if count > 0:
+                state.refcounts[ref_id] = count
+                state.held_since[ref_id] = self.kernel.now
+        self._stores[id(store)] = (store, state)
+
+    def on_ref_hold(self, store: "FrameStore", ref_id: int, refcount: int) -> None:
+        entry = self._stores.get(id(store))
+        if entry is None:
+            return
+        state = entry[1]
+        state.holds += 1
+        if ref_id not in state.refcounts:
+            state.held_since[ref_id] = self.kernel.now
+        state.refcounts[ref_id] = refcount
+
+    def on_ref_release(self, store: "FrameStore", ref_id: int, refcount: int) -> None:
+        entry = self._stores.get(id(store))
+        if entry is None:
+            return
+        state = entry[1]
+        state.releases += 1
+        if refcount < 0:
+            self.record(
+                "frame-ref-conservation",
+                f"framestore/{store.device}",
+                f"refcount for ref #{ref_id} went negative ({refcount}):"
+                " a reference was released more times than it was held",
+            )
+        if refcount <= 0:
+            state.refcounts.pop(ref_id, None)
+            state.held_since.pop(ref_id, None)
+        else:
+            state.refcounts[ref_id] = refcount
+
+    # -- message conservation ------------------------------------------------------
+    def watch_transport(self, transport: "Transport") -> None:
+        """Check ``sent == delivered + failed + in-flight`` on *transport*."""
+        if id(transport) in self._transports:
+            return
+        transport.auditor = self
+        state = _TransportState(
+            base_sent=transport.sent_count,
+            base_delivered=transport.delivered_count,
+            base_failed=transport.failed_count,
+        )
+        self._transports[id(transport)] = (transport, state)
+
+    def on_message_sent(self, transport: "Transport", message: Any) -> None:
+        entry = self._transports.get(id(transport))
+        if entry is not None:
+            entry[1].in_flight[message.msg_id] = self.kernel.now
+
+    def on_message_delivered(self, transport: "Transport", message: Any) -> None:
+        entry = self._transports.get(id(transport))
+        if entry is not None:
+            entry[1].in_flight.pop(message.msg_id, None)
+
+    def on_message_failed(self, transport: "Transport", message: Any) -> None:
+        entry = self._transports.get(id(transport))
+        if entry is not None:
+            entry[1].in_flight.pop(message.msg_id, None)
+
+    # -- metrics conservation -------------------------------------------------------
+    def watch_metrics(self, collector: "MetricsCollector") -> None:
+        """Check frames admitted == completed + dropped + in-flight on
+        *collector*."""
+        if id(collector) in self._metrics:
+            return
+        collector.auditor = self
+        state = _MetricsState(
+            base_entered=collector.counter("frames_entered"),
+            base_completed=collector.counter("frames_completed"),
+            base_dropped=collector.counter("frames_dropped"),
+            clean_at_watch=collector.frames_in_flight == 0,
+        )
+        self._metrics[id(collector)] = (collector, state)
+
+    def on_frame_entered(self, collector: "MetricsCollector", frame_id: int) -> None:
+        entry = self._metrics.get(id(collector))
+        if entry is None:
+            return
+        state = entry[1]
+        state.entered += 1
+        state.in_flight.add(frame_id)
+
+    def on_frame_completed(self, collector: "MetricsCollector", frame_id: int) -> None:
+        entry = self._metrics.get(id(collector))
+        if entry is None:
+            return
+        state = entry[1]
+        if frame_id in state.in_flight:
+            state.in_flight.discard(frame_id)
+            state.completed_admitted += 1
+
+    def on_frame_dropped(self, collector: "MetricsCollector", frame_id: int) -> None:
+        entry = self._metrics.get(id(collector))
+        if entry is None:
+            return
+        state = entry[1]
+        if frame_id in state.in_flight:
+            state.in_flight.discard(frame_id)
+            state.dropped_admitted += 1
+        else:
+            state.dropped_unadmitted += 1
+
+    # -- autoscaler pacing ------------------------------------------------------------
+    def watch_autoscaler(self, scaler: "AutoScaler") -> None:
+        """Check cooldown pacing and replica bounds on *scaler*'s events."""
+        if id(scaler) in self._scalers:
+            return
+        scaler.auditor = self
+        self._scalers[id(scaler)] = (scaler, {})
+
+    def on_scaling_event(self, scaler: "AutoScaler", event: "ScalingEvent") -> None:
+        entry = self._scalers.get(id(scaler))
+        if entry is None:
+            return
+        last_by_host = entry[1]
+        key = (event.service, event.device)
+        policy = scaler.policy
+        subject = f"autoscaler/{event.service}@{event.device}"
+        previous = last_by_host.get(key)
+        if (
+            previous is not None
+            and event.at - previous < policy.cooldown_s - _EPS
+        ):
+            self.record(
+                "autoscaler-pacing",
+                subject,
+                f"scaling events {previous:.3f}s and {event.at:.3f}s are"
+                f" {event.at - previous:.3f}s apart, inside the"
+                f" {policy.cooldown_s:.3f}s cooldown — the sampler is"
+                " re-evaluating overlapping windows (one decision should"
+                " consume its window)",
+            )
+        last_by_host[key] = event.at
+        if not (1 <= event.to_replicas <= policy.max_replicas):
+            self.record(
+                "autoscaler-pacing",
+                subject,
+                f"replica count left [1, {policy.max_replicas}]:"
+                f" {event.from_replicas} -> {event.to_replicas}",
+            )
+
+    # -- rpc quiesce -----------------------------------------------------------------
+    def watch_rpc(self, client: "RpcClient") -> None:
+        """At quiesce, *client* must have no orphaned pending requests."""
+        if client not in self._rpc_clients:
+            self._rpc_clients.append(client)
+
+    # -- checks -------------------------------------------------------------------------
+    def check_now(self) -> list[Violation]:
+        """Run every invariant that must hold at *any* instant.
+
+        Returns the violations added by this call.
+        """
+        start = len(self.violations)
+        self.checks_run += 1
+        for transport, state in self._transports.values():
+            self._check_transport(transport, state)
+        for collector, state in self._metrics.values():
+            self._check_metrics(collector, state)
+        return self.violations[start:]
+
+    def check_quiesce(self) -> list[Violation]:
+        """Run every invariant, including the end-of-run ones: all frame
+        refs released, no in-flight messages, no pending RPCs.
+
+        Call when the home is done (the event queue has drained or the
+        caller knows all work has settled). Returns the violations added.
+        """
+        start = len(self.violations)
+        self.check_now()
+        for store, state in self._stores.values():
+            self._check_store_quiesce(store, state)
+        for transport, state in self._transports.values():
+            if transport.in_flight and not transport.closed:
+                self.record(
+                    "message-conservation",
+                    f"transport/{type(transport).__name__}",
+                    f"{transport.in_flight} message(s) still in flight at"
+                    " quiesce: a send's arrival signal never resolved",
+                )
+        for collector, state in self._metrics.values():
+            if state.clean_at_watch and collector.frames_in_flight:
+                self.record(
+                    "metrics-conservation",
+                    f"metrics/{collector.name}",
+                    f"{collector.frames_in_flight} frame(s) still marked"
+                    " in-flight at quiesce: frames_entered was never matched"
+                    " by frame_completed/frame_dropped — a drop path is not"
+                    " reporting to the collector",
+                )
+        for client in self._rpc_clients:
+            pending = client.pending_count
+            if pending:
+                self.record(
+                    "rpc-quiesce",
+                    f"rpc/{client.reply_address}",
+                    f"{pending} RPC request(s) still pending at quiesce:"
+                    " a reply or timeout was lost",
+                )
+        return self.violations[start:]
+
+    # -- check bodies ------------------------------------------------------------
+    def _check_transport(self, transport: "Transport", state: _TransportState) -> None:
+        subject = f"transport/{type(transport).__name__}"
+        sent = transport.sent_count - state.base_sent
+        delivered = transport.delivered_count - state.base_delivered
+        failed = transport.failed_count - state.base_failed
+        in_flight = transport.in_flight
+        if sent != delivered + failed + in_flight:
+            self.record(
+                "message-conservation",
+                subject,
+                f"sent ({sent}) != delivered ({delivered}) + failed"
+                f" ({failed}) + in-flight ({in_flight}) — "
+                f"{sent - delivered - failed - in_flight} message(s)"
+                " vanished without a delivery or failure",
+            )
+        if len(state.in_flight) != in_flight:
+            examples = sorted(state.in_flight)[:5]
+            self.record(
+                "message-conservation",
+                subject,
+                f"auditor mirrors {len(state.in_flight)} in-flight message(s)"
+                f" but the transport reports {in_flight}; unsettled msg ids"
+                f" (up to 5): {examples} — a pending send was dropped"
+                " without resolving its signal",
+            )
+
+    def _check_metrics(self, collector: "MetricsCollector", state: _MetricsState) -> None:
+        subject = f"metrics/{collector.name}"
+        entered = collector.counter("frames_entered") - state.base_entered
+        completed = collector.counter("frames_completed") - state.base_completed
+        dropped = collector.counter("frames_dropped") - state.base_dropped
+        if entered != state.entered:
+            self.record(
+                "metrics-conservation",
+                subject,
+                f"frames_entered counter moved by {entered} but the"
+                f" collector notified {state.entered} admissions",
+            )
+        if state.clean_at_watch:
+            mirrored = len(state.in_flight)
+            if collector.frames_in_flight != mirrored:
+                self.record(
+                    "metrics-conservation",
+                    subject,
+                    f"collector reports {collector.frames_in_flight} frame(s)"
+                    f" in flight but admitted-minus-settled is {mirrored} —"
+                    " frame_dropped/frame_completed is not pruning"
+                    " _frame_started (the PR-3 leak class)",
+                )
+        accounted = (
+            state.completed_admitted + state.dropped_admitted + len(state.in_flight)
+        )
+        if state.entered != accounted:
+            self.record(
+                "metrics-conservation",
+                subject,
+                f"admitted ({state.entered}) != completed ({state.completed_admitted})"
+                f" + dropped ({state.dropped_admitted})"
+                f" + in-flight ({len(state.in_flight)})",
+            )
+        if dropped < state.dropped_admitted:
+            self.record(
+                "metrics-conservation",
+                subject,
+                f"frames_dropped counter ({dropped}) is below the"
+                f" admitted drops the collector reported"
+                f" ({state.dropped_admitted})",
+            )
+        if completed < state.completed_admitted:
+            self.record(
+                "metrics-conservation",
+                subject,
+                f"frames_completed counter ({completed}) is below the"
+                f" admitted completions the collector reported"
+                f" ({state.completed_admitted})",
+            )
+
+    def _check_store_quiesce(self, store: "FrameStore", state: _StoreState) -> None:
+        subject = f"framestore/{store.device}"
+        if store.live_count == 0:
+            return
+        holders = []
+        for ref_id in sorted(state.refcounts)[:5]:
+            count = state.refcounts[ref_id]
+            since = state.held_since.get(ref_id, 0.0)
+            obj = store._objects.get(ref_id)
+            holders.append(
+                f"#{ref_id} {type(obj).__name__} x{count}"
+                f" (held since t={since:.3f}s)"
+            )
+        attribution = "; ".join(holders) if holders else store._top_holders()
+        self.record(
+            "frame-ref-conservation",
+            subject,
+            f"{store.live_count} live reference(s) at quiesce after"
+            f" {state.holds} hold(s) / {state.releases} release(s) — a"
+            f" module or service is leaking holds. Leaked: {attribution}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<InvariantAuditor {len(self._stores)} stores,"
+            f" {len(self._transports)} transports, {len(self._metrics)}"
+            f" collectors, {self.violation_count} violations>"
+        )

@@ -17,6 +17,9 @@ Typical use::
 
 from __future__ import annotations
 
+import os
+
+from ..audit.auditor import InvariantAuditor, Violation
 from ..devices.catalog import make_spec
 from ..devices.device import Device
 from ..devices.spec import DeviceSpec
@@ -34,6 +37,7 @@ from ..monitor.orchestrator import (
     evacuate_dead_device_remedy,
 )
 from ..monitor.probes import (
+    audit_probe,
     device_probe,
     pipeline_probe,
     service_probe,
@@ -43,7 +47,12 @@ from ..net.broker import BrokeredTransport
 from ..net.link import WIFI_HOME, LinkSpec
 from ..net.topology import Topology
 from ..net.transport import BrokerlessTransport, Transport
-from ..pipeline.config import PerfConfig, PipelineConfig, TraceConfig
+from ..pipeline.config import (
+    AuditConfig,
+    PerfConfig,
+    PipelineConfig,
+    TraceConfig,
+)
 from ..pipeline.deployer import Deployer
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.placement import (
@@ -95,7 +104,14 @@ class VideoPipe:
         self._responders: dict[str, HeartbeatResponder] = {}
         self._perf: PerfConfig | None = None
         self.tracer: TraceRecorder | None = None
+        self.auditor: InvariantAuditor | None = None
         self.pipelines: list[Pipeline] = []
+        if os.environ.get("REPRO_AUDIT"):
+            # opt-in via environment (like REPRO_BENCH_FAST): audit every
+            # home without touching application code; the CI audit job and
+            # the pytest gate in tests/conftest.py build on this
+            self.enable_audit()
+            self.auditor.source = "env"
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -124,6 +140,8 @@ class VideoPipe:
         self.devices[spec.name] = device
         if self._perf is not None:
             self._apply_perf_to_device(device)
+        if self.auditor is not None:
+            self.auditor.watch_store(device.frame_store)
         ModuleRuntime(self.kernel, device, self._get_transport())
         if self.monitor is not None:
             self.monitor.add_probe(f"device/{spec.name}", device_probe(device))
@@ -153,6 +171,8 @@ class VideoPipe:
                 )
             else:
                 raise ConfigError(f"unknown transport {self._transport_kind!r}")
+            if self.auditor is not None:
+                self.auditor.watch_transport(self.transport)
         return self.transport
 
     # -- services ----------------------------------------------------------------
@@ -298,6 +318,54 @@ class VideoPipe:
                 self.monitor.add_probe("tracing", tracing_probe(self.tracer))
         return self.tracer
 
+    # -- auditing ------------------------------------------------------------------
+    def enable_audit(self, audit: AuditConfig | None = None) -> InvariantAuditor:
+        """Turn on the runtime invariant auditor home-wide.
+
+        One :class:`~repro.audit.auditor.InvariantAuditor` watches every
+        current and future device frame store, the transport, every
+        pipeline's metrics collector, and the autoscaler, and observes the
+        kernel for clock hygiene. Auditing is passive — the auditor never
+        schedules events, consumes randomness or touches message sizes —
+        so an audited run is bit-for-bit identical to an unaudited one
+        (``docs/AUDIT.md``). Idempotent: a second call returns the
+        existing auditor. Also reachable via ``REPRO_AUDIT=1`` in the
+        environment, which audits every home without code changes.
+        """
+        if self.auditor is None:
+            self.auditor = InvariantAuditor(self.kernel, audit or AuditConfig())
+            self.auditor.attach_kernel(self.kernel)
+            if self.transport is not None:
+                self.auditor.watch_transport(self.transport)
+            for device in self.devices.values():
+                self.auditor.watch_store(device.frame_store)
+            for pipeline in self.pipelines:
+                self.auditor.watch_metrics(pipeline.metrics)
+            if self.autoscaler is not None:
+                self.auditor.watch_autoscaler(self.autoscaler)
+            if self.monitor is not None:
+                self.monitor.add_probe("audit", audit_probe(self.auditor))
+        return self.auditor
+
+    def check_invariants(self, quiesce: bool | None = None) -> list[Violation]:
+        """Run the auditor's checks now and return any *new* violations.
+
+        With ``quiesce=True`` the end-of-run laws are included: every
+        frame reference released, no in-flight messages, no pending RPCs.
+        Those laws only hold once the kernel has drained, so the default
+        (``None``) picks automatically: quiesce checks when
+        ``kernel.pending_events == 0``, instantaneous conservation checks
+        otherwise — calling this mid-run never reports a still-working
+        frame as a leak. Requires :meth:`enable_audit` to have been called
+        (directly or via ``REPRO_AUDIT=1``)."""
+        if self.auditor is None:
+            raise ConfigError("call enable_audit() before check_invariants()")
+        if quiesce is None:
+            quiesce = self.kernel.pending_events == 0
+        if quiesce:
+            return self.auditor.check_quiesce()
+        return self.auditor.check_now()
+
     def enable_monitoring(self, period_s: float = 0.5) -> Monitor:
         """Turn on the §7 future-work monitor: every current and future
         device, service host and pipeline gets a probe."""
@@ -315,6 +383,8 @@ class VideoPipe:
                 self.monitor.add_probe("failures", failure_probe(self.detector))
             if self.tracer is not None:
                 self.monitor.add_probe("tracing", tracing_probe(self.tracer))
+            if self.auditor is not None:
+                self.monitor.add_probe("audit", audit_probe(self.auditor))
             self.monitor.start()
         return self.monitor
 
@@ -326,6 +396,8 @@ class VideoPipe:
             for name in self.registry.service_names():
                 for host in self.registry.hosts_of(name):
                     self.autoscaler.watch(host)
+            if self.auditor is not None:
+                self.auditor.watch_autoscaler(self.autoscaler)
             self.autoscaler.start()
         return self.autoscaler
 
@@ -461,6 +533,8 @@ class VideoPipe:
         self.pipelines.append(pipeline)
         if self.tracer is not None:
             pipeline.wiring.tracer = self.tracer
+        if self.auditor is not None:
+            self.auditor.watch_metrics(pipeline.metrics)
         if self.monitor is not None:
             self.monitor.add_probe(
                 f"pipeline/{pipeline.name}", pipeline_probe(pipeline)

@@ -89,6 +89,12 @@ class FrameStoreError(ReproError):
     """Raised for invalid frame-reference usage (unknown id, double free)."""
 
 
+class AuditError(ReproError):
+    """Raised by the invariant auditor in strict mode when a conservation
+    law or ordering invariant is violated (the default is to record the
+    violation and keep running)."""
+
+
 class DeviceError(ReproError):
     """Raised for invalid device operations (deploying a container service
     onto a device without container support, unknown device)."""

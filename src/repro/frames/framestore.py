@@ -28,7 +28,9 @@ from .digest import content_digest
 from .frame import FrameRef, VideoFrame
 
 #: An eviction hook: called as ``hook(store, needed_slots)`` when the store
-#: is full; returns how many slots it freed (by releasing its own holds).
+#: is full; it frees slots by releasing its own holds. The hook's return
+#: value is ignored — the store measures the actual occupancy delta rather
+#: than trusting a self-reported count.
 EvictionHook = Callable[["FrameStore", int], int]
 
 
@@ -69,6 +71,12 @@ class FrameStore:
         #: release order; value unused).
         self._retained: OrderedDict[int, None] = OrderedDict()
         self._eviction_hooks: list[EvictionHook] = []
+        #: True while eviction hooks run; guards against hooks re-entering
+        #: :meth:`put` mid-eviction (which would recurse into `_make_room`).
+        self._evicting = False
+        #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
+        #: ``None`` while auditing is off (set by ``watch_store``).
+        self.auditor: Any = None
         # statistics for the ref-passing and dedup ablations
         self.stored_count = 0
         self.resolved_count = 0
@@ -99,6 +107,12 @@ class FrameStore:
         With dedup enabled, a byte-identical frame resolves to the existing
         stored object instead of taking a new slot.
         """
+        if self._evicting:
+            raise FrameStoreError(
+                f"eviction hook re-entered put() on {self.device!r} while the"
+                " store was making room — hooks may only release their own"
+                " holds, never store new objects"
+            )
         digest: str | None = None
         if self.dedup and isinstance(obj, VideoFrame):
             digest = content_digest(obj)
@@ -112,6 +126,10 @@ class FrameStore:
                         self._refcounts[existing] = 1
                     else:
                         self._refcounts[existing] += 1
+                    if self.auditor is not None:
+                        self.auditor.on_ref_hold(
+                            self, existing, self._refcounts[existing]
+                        )
                     return FrameRef(self.device, existing)
             self.dedup_misses += 1
         if len(self._objects) >= self.capacity:
@@ -124,6 +142,8 @@ class FrameStore:
             self._by_digest[digest] = ref_id
         self.stored_count += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._objects))
+        if self.auditor is not None:
+            self.auditor.on_ref_hold(self, ref_id, 1)
         return FrameRef(self.device, ref_id)
 
     def get(self, ref: FrameRef) -> Any:
@@ -136,6 +156,8 @@ class FrameStore:
         """Take an additional hold on the object (fan-out to two modules)."""
         self._check(ref)
         self._refcounts[ref.ref_id] += 1
+        if self.auditor is not None:
+            self.auditor.on_ref_hold(self, ref.ref_id, self._refcounts[ref.ref_id])
         return ref
 
     def release(self, ref: FrameRef) -> None:
@@ -144,6 +166,8 @@ class FrameStore:
         self._check(ref)
         ref_id = ref.ref_id
         self._refcounts[ref_id] -= 1
+        if self.auditor is not None:
+            self.auditor.on_ref_release(self, ref_id, self._refcounts[ref_id])
         if self._refcounts[ref_id] == 0:
             if (
                 self.dedup
@@ -190,30 +214,49 @@ class FrameStore:
     def add_eviction_hook(self, hook: EvictionHook) -> None:
         """Register a hook consulted when the store is full. Hooks free
         slots by releasing holds they own (e.g. a cache dropping pinned
-        entries) and return the number of slots they freed."""
+        entries); the store measures how many slots each hook actually
+        freed rather than trusting a returned count. Hooks must not call
+        :meth:`put` — eviction is in progress and re-entering would
+        recurse."""
         self._eviction_hooks.append(hook)
 
     def _make_room(self) -> None:
         """Free at least one slot or raise the leak diagnostic."""
         # retained dedup targets are pure cache: reclaim oldest first
-        while self._retained and len(self._objects) >= self.capacity:
-            oldest, _ = self._retained.popitem(last=False)
-            self.retained_evictions += 1
-            self._delete(oldest)
+        self._reclaim_retained()
         needed = len(self._objects) - self.capacity + 1
-        if needed > 0:
-            for hook in self._eviction_hooks:
-                freed = hook(self, needed)
-                self.hook_evictions += max(0, freed)
-                needed = len(self._objects) - self.capacity + 1
-                if needed <= 0:
-                    break
+        if needed > 0 and self._eviction_hooks:
+            self._evicting = True
+            try:
+                for hook in self._eviction_hooks:
+                    before = len(self._objects)
+                    hook(self, needed)
+                    # a hook's releases may land in the retained cache (dedup
+                    # stores) instead of freeing slots outright; sweep it so
+                    # the measured delta reflects reclaimable room
+                    self._reclaim_retained()
+                    freed = before - len(self._objects)
+                    if freed > 0:
+                        self.hook_evictions += freed
+                    needed = len(self._objects) - self.capacity + 1
+                    if needed <= 0:
+                        break
+            finally:
+                self._evicting = False
         if len(self._objects) >= self.capacity:
             raise FrameStoreError(
                 f"frame store on {self.device!r} full ({self.capacity} slots,"
                 f" {self.retained_count} retained); a module is leaking"
                 f" references — top holders: {self._top_holders()}"
             )
+
+    def _reclaim_retained(self) -> None:
+        """Delete retained (zero-refcount) entries oldest-first while the
+        store is at or over capacity."""
+        while self._retained and len(self._objects) >= self.capacity:
+            oldest, _ = self._retained.popitem(last=False)
+            self.retained_evictions += 1
+            self._delete(oldest)
 
     def _top_holders(self, limit: int = 5) -> str:
         """The highest-refcount entries, for the leak diagnostic."""

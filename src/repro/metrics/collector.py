@@ -9,6 +9,7 @@ summaries.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Any
 
 from .stats import RateMeter, Summary, summarize
 
@@ -23,6 +24,9 @@ class MetricsCollector:
         self.completions = RateMeter()
         self._frame_started: dict[int, float] = {}
         self._frame_latencies: list[float] = []
+        #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
+        #: ``None`` while auditing is off (set by ``watch_metrics``).
+        self.auditor: Any = None
 
     # -- stage latencies ----------------------------------------------------
     def record_stage(self, stage: str, seconds: float) -> None:
@@ -56,6 +60,8 @@ class MetricsCollector:
         """A frame was admitted into the pipeline at the source."""
         self._frame_started[frame_id] = now
         self._counters["frames_entered"] += 1
+        if self.auditor is not None:
+            self.auditor.on_frame_entered(self, frame_id)
 
     def frame_completed(self, frame_id: int, now: float) -> None:
         """The final module finished the frame; updates FPS and latency."""
@@ -64,6 +70,8 @@ class MetricsCollector:
         if started is not None:
             self._frame_latencies.append(now - started)
         self._counters["frames_completed"] += 1
+        if self.auditor is not None:
+            self.auditor.on_frame_completed(self, frame_id)
 
     def frame_dropped(self, frame_id: int, now: float) -> None:
         """A frame left the pipeline without completing (dropped at the
@@ -74,6 +82,8 @@ class MetricsCollector:
         admitted (the source's pre-admission drops)."""
         self._frame_started.pop(frame_id, None)
         self._counters["frames_dropped"] += 1
+        if self.auditor is not None:
+            self.auditor.on_frame_dropped(self, frame_id)
 
     @property
     def frames_in_flight(self) -> int:

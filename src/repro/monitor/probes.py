@@ -89,6 +89,22 @@ def pipeline_probe(pipeline: Pipeline) -> ProbeFn:
     return read
 
 
+def audit_probe(auditor) -> ProbeFn:
+    """Violation accounting for the home's invariant auditor. Sampling runs
+    the instant-checks (message/metrics conservation) so a violation shows
+    up on the next monitor period, not only at quiesce."""
+
+    def read() -> dict[str, float]:
+        auditor.check_now()
+        return {
+            "violations": float(auditor.violation_count),
+            "dropped_violations": float(auditor.dropped_violations),
+            "checks_run": float(auditor.checks_run),
+        }
+
+    return read
+
+
 def tracing_probe(recorder) -> ProbeFn:
     """Span volume and frame accounting for the home's trace recorder."""
 

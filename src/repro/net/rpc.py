@@ -94,6 +94,13 @@ class RpcClient:
         self.timeouts = 0
         self.late_replies = 0
 
+    @property
+    def pending_count(self) -> int:
+        """Requests awaiting a reply or timeout. Every request arms a
+        timeout timer (when the client has one), so at quiesce this must be
+        zero — the invariant auditor's ``watch_rpc`` checks it."""
+        return len(self._pending)
+
     # -- public API -----------------------------------------------------------
     def call(
         self,

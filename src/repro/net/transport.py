@@ -9,7 +9,7 @@ Kafka/RabbitMQ architecture the paper argues adds avoidable hops.
 from __future__ import annotations
 
 import itertools
-from typing import Callable
+from typing import Any, Callable
 
 from ..errors import DeliveryError, NetworkError
 from ..sim.kernel import Kernel
@@ -33,14 +33,25 @@ class Transport:
         self._handlers: dict[Address, Handler] = {}
         self._ephemeral: dict[str, itertools.count] = {}
         # insertion-ordered so close() fails pending sends deterministically
-        self._pending_sends: dict[Signal, None] = {}
+        self._pending_sends: dict[Signal, Message] = {}
         self._closed = False
+        self.sent_count = 0
         self.delivered_count = 0
         self.failed_count = 0
+        #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
+        #: ``None`` while auditing is off (set by ``watch_transport``).
+        self.auditor: Any = None
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but neither delivered nor failed yet. The
+        conservation law ``sent == delivered + failed + in_flight`` holds
+        at every instant; the auditor checks it."""
+        return len(self._pending_sends)
 
     # -- binding ---------------------------------------------------------------
     def bind(self, address: Address, handler: Handler) -> None:
@@ -75,13 +86,16 @@ class Transport:
         if message.src is None:
             raise NetworkError("message needs a src address for routing")
         message.sent_at = self.kernel.now
+        self.sent_count += 1
+        if self.auditor is not None:
+            self.auditor.on_message_sent(self, message)
         done = self.kernel.signal(name=f"send#{message.msg_id}")
         if self._closed:
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(DeliveryError("transport is closed"))
             return done
         if not self.topology.device_is_up(message.src.device):
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(DeliveryError(f"source device {message.src.device!r} is down"))
             return done
         try:
@@ -89,13 +103,18 @@ class Transport:
         except NetworkError as exc:
             # routing failures (partition, unknown route) surface through the
             # signal so retry/failover paths see them like any other failure
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(exc)
             return done
-        self._pending_sends[done] = None
+        self._pending_sends[done] = message
         done.wait(lambda _v, _e: self._pending_sends.pop(done, None))
         arrival.wait(lambda _t, exc: self._deliver(message, done, exc))
         return done
+
+    def _count_failure(self, message: Message) -> None:
+        self.failed_count += 1
+        if self.auditor is not None:
+            self.auditor.on_message_failed(self, message)
 
     def _route(self, message: Message) -> Signal:
         """Return the arrival signal for the message's bytes. Overridden by
@@ -108,24 +127,26 @@ class Transport:
         if not done.pending:
             return  # already failed (e.g. the transport closed mid-flight)
         if exc is not None:
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(exc)
             return
         if self._closed:
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(DeliveryError("transport closed while message in flight"))
             return
         if not self.topology.device_is_up(message.dst.device):
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(DeliveryError(f"device {message.dst.device!r} is down"))
             return
         handler = self._handlers.get(message.dst)
         if handler is None:
-            self.failed_count += 1
+            self._count_failure(message)
             done.fail(DeliveryError(f"no listener bound at {message.dst}"))
             return
         message.delivered_at = self.kernel.now
         self.delivered_count += 1
+        if self.auditor is not None:
+            self.auditor.on_message_delivered(self, message)
         handler(message)
         done.succeed(self.kernel.now)
 
@@ -138,11 +159,11 @@ class Transport:
             return
         self._closed = True
         self._handlers.clear()
-        pending = list(self._pending_sends)
+        pending = list(self._pending_sends.items())
         self._pending_sends.clear()
-        for sig in pending:
+        for sig, message in pending:
             if sig.pending:
-                self.failed_count += 1
+                self._count_failure(message)
                 sig.fail(DeliveryError("transport closed"))
 
 

@@ -1,6 +1,7 @@
 """Pipeline configuration, validation, placement and deployment."""
 
 from .config import (
+    AuditConfig,
     ModuleConfig,
     PerfConfig,
     PipelineConfig,
@@ -32,6 +33,7 @@ from .scheduler import (
 )
 
 __all__ = [
+    "AuditConfig",
     "COLOCATED",
     "COST_OPTIMIZED",
     "Deployer",

@@ -119,6 +119,33 @@ class TraceConfig:
 
 
 @dataclass(slots=True)
+class AuditConfig:
+    """Knobs for the runtime invariant auditor.
+
+    Applied home-wide via :meth:`repro.core.videopipe.VideoPipe.enable_audit`.
+    Auditing is passive, like tracing: the auditor observes kernel events and
+    mirrors component bookkeeping but never schedules events, consumes
+    randomness or touches message sizes, so an audited run is bit-for-bit
+    identical to an unaudited one (see ``docs/AUDIT.md``).
+
+    Attributes:
+        max_violations: recorder capacity; violations past it are counted
+            (``InvariantAuditor.dropped_violations``) but not stored, so a
+            hot failing invariant cannot grow memory without bound.
+        strict: raise :class:`~repro.errors.AuditError` at the first
+            violation instead of recording it (useful in tests that want a
+            loud, immediate failure).
+    """
+
+    max_violations: int = 1000
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_violations < 1:
+            raise ConfigError("max_violations must be >= 1")
+
+
+@dataclass(slots=True)
 class PipelineConfig:
     """A whole application: its module DAG plus the designated source.
 

@@ -147,6 +147,17 @@ class ServiceHost:
         self._replica_target += count
         self.workers.grow(count)
 
+    def remove_replica(self, count: int = 1) -> None:
+        """Scale back down toward one replica. Lazy: a busy worker finishes
+        its current call before its slot disappears, so no in-flight
+        request is dropped."""
+        if count < 1:
+            raise ServiceError("remove_replica() needs a positive count")
+        if self._replica_target - count < 1:
+            raise ServiceError("cannot scale below one replica")
+        self._replica_target -= count
+        self.workers.shrink(count)
+
     # -- fast path configuration -------------------------------------------------
     def enable_result_cache(
         self, max_entries: int = 512, ttl_s: float | None = None

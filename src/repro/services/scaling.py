@@ -2,15 +2,28 @@
 
 "It also implies that we should scale the services at this point, which is
 convenient in our design as the services are stateless" (§5.2.2). The
-autoscaler periodically samples each watched host's queue and adds replicas
-when requests are persistently waiting.
+autoscaler periodically samples each watched host's queue, adds replicas
+when requests are persistently waiting, and retires them again when a host
+sits idle.
+
+Decisions are made over **non-overlapping** sample windows: once a window
+fills, it is consumed whole (evaluated then cleared). Re-evaluating a
+mostly-overlapping window every tick — the pre-fix behaviour — lets a
+single transient spike trigger a decision on several consecutive ticks and
+burst replicas straight to ``max_replicas``. A cooldown
+(``ScalingPolicy.cooldown_s``) additionally spaces decisions for one host,
+so each sustained-load episode produces one scaling event per cooldown
+period; the invariant auditor flags any pair of events closer than that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from ..errors import Interrupt
 from ..sim.kernel import Kernel
+from ..sim.process import Process
 from .host import ServiceHost
 
 
@@ -22,9 +35,17 @@ class ScalingPolicy:
         check_interval_s: seconds between queue samples.
         queue_threshold: average queued requests (over a window) that
             triggers a scale-up.
-        window: samples per decision.
+        window: samples per decision; windows never overlap (a decision
+            consumes its window), so decisions for one host are at least
+            ``window * check_interval_s`` apart.
         max_replicas: hard ceiling.
-        step: replicas added per scale-up.
+        step: replicas added (or removed) per decision.
+        min_replicas: floor the scale-down path shrinks toward; never
+            below 1.
+        cooldown_s: minimum spacing between two scaling decisions for the
+            same host, in either direction. Prevents a long backlog from
+            stacking scale-ups before earlier replicas have had a chance
+            to absorb load.
     """
 
     check_interval_s: float = 0.5
@@ -32,17 +53,23 @@ class ScalingPolicy:
     window: int = 4
     max_replicas: int = 4
     step: int = 1
+    min_replicas: int = 1
+    cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0 or self.window < 1:
             raise ValueError("interval must be positive, window >= 1")
         if self.max_replicas < 1 or self.step < 1:
             raise ValueError("max_replicas and step must be >= 1")
+        if self.min_replicas < 1 or self.min_replicas > self.max_replicas:
+            raise ValueError("min_replicas must be in [1, max_replicas]")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
 
 
 @dataclass(slots=True)
 class ScalingEvent:
-    """Record of one scale-up decision."""
+    """Record of one scaling decision (up or down)."""
 
     at: float
     service: str
@@ -50,47 +77,76 @@ class ScalingEvent:
     from_replicas: int
     to_replicas: int
     avg_queue: float
+    reason: str = "scale_up"
 
 
 class AutoScaler:
-    """Watches service hosts and grows their replica pools under load."""
+    """Watches service hosts and sizes their replica pools to the load."""
 
     def __init__(self, kernel: Kernel, policy: ScalingPolicy | None = None) -> None:
         self.kernel = kernel
         self.policy = policy or ScalingPolicy()
         self._hosts: list[ServiceHost] = []
-        self._samples: dict[int, list[int]] = {}
+        # keyed by host identity (the object itself), not id(host): an id
+        # can be reused by a new host after the original is garbage
+        # collected (e.g. replaced during an evacuation), silently crossing
+        # the two hosts' sample streams
+        self._samples: dict[ServiceHost, list[int]] = {}
+        self._last_event_at: dict[ServiceHost, float] = {}
         self.events: list[ScalingEvent] = []
         self._running = False
+        self._proc: Process | None = None
+        #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
+        #: ``None`` while auditing is off (set by ``watch_autoscaler``).
+        self.auditor: Any = None
 
     def watch(self, host: ServiceHost) -> None:
-        """Add a host to the watch list (before or after start)."""
+        """Add a host to the watch list (before or after start).
+        Idempotent: watching a host twice does not double-sample it."""
+        if host in self._samples:
+            return
         self._hosts.append(host)
-        self._samples[id(host)] = []
+        self._samples[host] = []
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self.kernel.process(self._loop(), name="autoscaler")
+        self._proc = self.kernel.process(self._loop(), name="autoscaler")
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending kernel tick (the sampling
+        process is interrupted rather than left waiting on a live timer)."""
+        if not self._running:
+            return
         self._running = False
+        if self._proc is not None and self._proc.alive:
+            self._proc.interrupt("autoscaler stopped")
+        self._proc = None
 
     def _loop(self):
-        while self._running:
-            yield self.policy.check_interval_s
-            for host in self._hosts:
-                self._sample(host)
+        try:
+            while self._running:
+                yield self.policy.check_interval_s
+                for host in self._hosts:
+                    self._sample(host)
+        except Interrupt:
+            return
 
     def _sample(self, host: ServiceHost) -> None:
-        samples = self._samples[id(host)]
+        samples = self._samples[host]
         samples.append(host.queue_length)
         if len(samples) < self.policy.window:
             return
-        recent = samples[-self.policy.window:]
-        del samples[:-self.policy.window]
-        avg_queue = sum(recent) / len(recent)
+        # non-overlapping windows: the decision consumes its samples, so a
+        # transient spike is evaluated once, not on every subsequent tick
+        window = samples[:]
+        samples.clear()
+        avg_queue = sum(window) / len(window)
+        now = self.kernel.now
+        last = self._last_event_at.get(host)
+        if last is not None and now - last < self.policy.cooldown_s:
+            return
         if (
             avg_queue >= self.policy.queue_threshold
             and host.replicas < self.policy.max_replicas
@@ -98,13 +154,30 @@ class AutoScaler:
             before = host.replicas
             step = min(self.policy.step, self.policy.max_replicas - before)
             host.add_replica(step)
-            self.events.append(
-                ScalingEvent(
-                    at=self.kernel.now,
-                    service=host.service_name,
-                    device=host.device.name,
-                    from_replicas=before,
-                    to_replicas=host.replicas,
-                    avg_queue=avg_queue,
-                )
-            )
+            self._record(host, before, avg_queue, "scale_up")
+        elif (
+            avg_queue == 0
+            and host.busy_workers == 0
+            and host.replicas > self.policy.min_replicas
+        ):
+            before = host.replicas
+            step = min(self.policy.step, before - self.policy.min_replicas)
+            host.remove_replica(step)
+            self._record(host, before, avg_queue, "scale_down")
+
+    def _record(
+        self, host: ServiceHost, before: int, avg_queue: float, reason: str
+    ) -> None:
+        event = ScalingEvent(
+            at=self.kernel.now,
+            service=host.service_name,
+            device=host.device.name,
+            from_replicas=before,
+            to_replicas=host.replicas,
+            avg_queue=avg_queue,
+            reason=reason,
+        )
+        self.events.append(event)
+        self._last_event_at[host] = self.kernel.now
+        if self.auditor is not None:
+            self.auditor.on_scaling_event(self, event)

@@ -35,12 +35,34 @@ class Kernel:
         self._seq = 0
         self._running = False
         self._stopped = False
+        # passive observers notified on schedule/execute; a tuple so the hot
+        # path pays one truthiness check when nobody is watching
+        self._observers: tuple = ()
 
     # -- time -----------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (cancelled ones may be counted until popped)."""
+        return len(self._queue)
+
+    # -- observation ------------------------------------------------------------
+    def add_observer(self, observer: Any) -> None:
+        """Register a passive observer: ``on_schedule(now, event)`` is called
+        after every :meth:`schedule`, ``on_execute(now, event)`` before every
+        event's callback runs. Observers must never mutate kernel state —
+        they exist for auditing and determinism checking, and an observed
+        run is bit-for-bit identical to an unobserved one."""
+        if observer not in self._observers:
+            self._observers = self._observers + (observer,)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Unregister an observer (no-op when not registered)."""
+        self._observers = tuple(o for o in self._observers if o is not observer)
 
     # -- scheduling -------------------------------------------------------------
     def schedule(
@@ -56,6 +78,9 @@ class Kernel:
         self._seq += 1
         event = Event(self._now + delay, priority, self._seq, callback, args)
         self._queue.push(event)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_schedule(self._now, event)
         return event
 
     def cancel(self, event: Event) -> None:
@@ -89,6 +114,11 @@ class Kernel:
             event = self._queue.pop()
         except IndexError:
             return False
+        if self._observers:
+            # notified before the monotonicity check so an auditor records
+            # the violation even when the kernel aborts the run
+            for observer in self._observers:
+                observer.on_execute(self._now, event)
         if event.time < self._now:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = event.time

@@ -132,6 +132,18 @@ class Resource:
             _, _, sig, grant = heapq.heappop(self._waiting)
             self._issue(sig, grant)
 
+    def shrink(self, amount: int = 1) -> None:
+        """Remove capacity at runtime (service scale-down). Lazy: busy
+        slots are not revoked, so ``in_use`` may transiently exceed the new
+        capacity; the pool converges as holders release (``release`` only
+        wakes waiters while ``in_use < capacity``)."""
+        if amount < 1:
+            raise SimulationError("shrink() requires a positive amount")
+        if self.capacity - amount < 1:
+            raise SimulationError("cannot shrink below one slot")
+        self._account()
+        self.capacity -= amount
+
     def _issue(self, sig: Signal, grant: Grant) -> None:
         self._account()
         self._in_use += 1

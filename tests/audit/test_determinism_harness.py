@@ -1,0 +1,137 @@
+"""Unit tests for the determinism harness: taps, diffing, reporting."""
+
+from repro.audit import (
+    EventTap,
+    check_determinism,
+    first_divergence,
+    record_scenario,
+)
+from repro.sim import Kernel
+
+
+def toy_scenario(seed):
+    """A tiny deterministic scenario: two interleaved kernel processes."""
+    kernel = Kernel()
+    log = []
+
+    def worker(name, period):
+        for n in range(5):
+            log.append((kernel.now, name, n))
+            yield period
+
+    kernel.process(worker("a", 0.1), name="a")
+    kernel.process(worker("b", 0.15 + seed * 0.0), name="b")
+
+    class Home:
+        pass
+
+    home = Home()
+    home.kernel = kernel
+
+    def run_fn():
+        kernel.run()
+        return list(log)
+
+    return home, run_fn
+
+
+_flaky_calls = {"n": 0}
+
+
+def flaky_scenario(seed):
+    """Deliberately nondeterministic: the delay changes between runs."""
+    home, _ = toy_scenario(seed)
+    kernel = home.kernel
+    _flaky_calls["n"] += 1
+    kernel.schedule(0.05 * _flaky_calls["n"], lambda: None)
+
+    def run_fn():
+        kernel.run()
+        return kernel.now
+
+    return home, run_fn
+
+
+class TestEventTap:
+    def test_records_schedule_and_execute_phases(self):
+        kernel = Kernel()
+        tap = EventTap()
+        kernel.add_observer(tap)
+        kernel.schedule(0.1, lambda: None)
+        kernel.run()
+        phases = [r[0] for r in tap.records]
+        assert phases == ["S", "X"]
+
+    def test_labels_name_the_callback_and_owner(self):
+        kernel = Kernel()
+        tap = EventTap()
+        kernel.add_observer(tap)
+
+        def gen():
+            yield 0.1
+
+        kernel.process(gen(), name="worker-7")
+        kernel.run()
+        assert any("worker-7" in r[4] for r in tap.records)
+
+    def test_limit_counts_overflow_instead_of_growing(self):
+        kernel = Kernel()
+        tap = EventTap(limit=3)
+        kernel.add_observer(tap)
+        for n in range(4):
+            kernel.schedule(0.1 * (n + 1), lambda: None)
+        kernel.run()
+        assert len(tap.records) == 3
+        assert tap.overflow == 5  # 1 schedule + 4 executes past the cap
+
+
+class TestDiff:
+    def test_identical_streams_have_no_divergence(self):
+        a = [("X", 0.1, 1, 1, "f"), ("X", 0.2, 1, 2, "g")]
+        assert first_divergence(a, list(a)) is None
+
+    def test_first_differing_record_is_reported(self):
+        a = [("X", 0.1, 1, 1, "f"), ("X", 0.2, 1, 2, "g")]
+        b = [("X", 0.1, 1, 1, "f"), ("X", 0.3, 1, 2, "g")]
+        d = first_divergence(a, b)
+        assert d.index == 1
+        assert "t=0.200000000s" in d.describe()
+        assert "t=0.300000000s" in d.describe()
+
+    def test_length_mismatch_is_a_divergence(self):
+        a = [("X", 0.1, 1, 1, "f")]
+        d = first_divergence(a, a + [("X", 0.2, 1, 2, "g")])
+        assert d.index == 1
+        assert d.first is None
+        assert "<stream ended>" in d.describe()
+
+
+class TestCheckDeterminism:
+    def test_deterministic_scenario_passes(self):
+        report = check_determinism(toy_scenario, seed=7)
+        assert report.ok
+        assert report.event_count > 0
+        assert "deterministic over" in report.describe()
+        assert report.as_dict()["ok"] is True
+
+    def test_nondeterministic_scenario_reports_divergence(self):
+        report = check_determinism(flaky_scenario, seed=7, name="flaky")
+        assert not report.ok
+        assert report.divergence is not None
+        text = report.describe()
+        assert "NOT deterministic" in text
+        assert "diverge at record" in text
+        assert report.as_dict()["divergence"]
+
+    def test_record_scenario_detaches_the_tap(self):
+        home, _ = toy_scenario(3)
+        record_scenario(lambda s: toy_scenario(s), 3)
+        # a fresh scenario's kernel holds no observers after recording
+        _, run_fn = toy_scenario(3)
+        assert run_fn()  # still runs clean
+
+
+class TestFixture:
+    def test_assert_deterministic_fixture(self, assert_deterministic):
+        report = assert_deterministic(toy_scenario, seed=5)
+        assert report.ok

@@ -1,0 +1,96 @@
+"""Regression tests for eviction-hook accounting and re-entry.
+
+The fixed bug: ``_make_room`` trusted the count a hook *returned* instead
+of measuring how many slots it actually freed, so a lying hook satisfied
+the room check while the store stayed full, and a hook calling ``put``
+recursed back into eviction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameStoreError
+from repro.frames import FrameStore, VideoFrame
+
+
+def make_frame(fill):
+    pixels = np.full((24, 32, 3), fill, dtype=np.uint8)
+    return VideoFrame(frame_id=fill, source="cam", capture_time=0.0,
+                      width=32, height=24, pixels=pixels)
+
+
+class TestHookAccounting:
+    def test_lying_hook_does_not_satisfy_the_room_check(self):
+        store = FrameStore("phone", capacity=2)
+        store.put("a")
+        store.put("b")
+
+        def liar(st, needed):
+            return needed  # claims to have freed everything, frees nothing
+
+        store.add_eviction_hook(liar)
+        with pytest.raises(FrameStoreError, match="full"):
+            store.put("c")
+        assert store.hook_evictions == 0
+
+    def test_partial_eviction_is_measured_not_reported(self):
+        store = FrameStore("phone", capacity=2)
+        held = [store.put("a"), store.put("b")]
+
+        def frees_one_claims_zero(st, needed):
+            st.release(held.pop(0))
+            return 0  # the return value must be ignored either way
+
+        store.add_eviction_hook(frees_one_claims_zero)
+        ref = store.put("c")
+        assert store.contains(ref)
+        assert store.hook_evictions == 1
+
+    def test_hooks_run_in_order_until_enough_is_freed(self):
+        store = FrameStore("phone", capacity=2)
+        held = [store.put("a"), store.put("b")]
+        calls = []
+
+        def first(st, needed):
+            calls.append("first")
+            st.release(held.pop(0))
+
+        def second(st, needed):
+            calls.append("second")
+            st.release(held.pop(0))
+
+        store.add_eviction_hook(first)
+        store.add_eviction_hook(second)
+        store.put("c")
+        # the first hook freed the needed slot; the second never ran
+        assert calls == ["first"]
+
+    def test_dedup_store_counts_releases_that_land_in_retained(self):
+        """On a dedup store a hook's release parks the frame in the
+        retained cache instead of freeing the slot outright; the measured
+        delta must still credit the hook after the retained sweep."""
+        store = FrameStore("phone", dedup=True, capacity=2, retain_limit=8)
+        held = [store.put(make_frame(1)), store.put(make_frame(2))]
+
+        def drop_mine(st, needed):
+            st.release(held.pop(0))
+
+        store.add_eviction_hook(drop_mine)
+        ref = store.put(make_frame(3))
+        assert store.contains(ref)
+        assert store.hook_evictions == 1
+
+
+class TestReentry:
+    def test_hook_calling_put_is_rejected(self):
+        store = FrameStore("phone", capacity=2)
+        store.put("a")
+        store.put("b")
+
+        def reenters(st, needed):
+            st.put("sneaky")
+
+        store.add_eviction_hook(reenters)
+        with pytest.raises(FrameStoreError, match="re-entered"):
+            store.put("c")
+        # the guard resets: the store still works afterwards
+        assert store._evicting is False

@@ -92,6 +92,41 @@ class TestLocalCalls:
             ServiceHost(home.kernel, home.desktop, echo_service(),
                         home.transport, replicas=0)
 
+    def test_remove_replica_shrinks_the_pool(self, home):
+        host = ServiceHost(home.kernel, home.desktop, echo_service(0.050),
+                           home.transport, replicas=3)
+        host.remove_replica(2)
+        assert host.replicas == 1
+        first = host.call_local({})
+        second = host.call_local({})
+        home.kernel.run()
+        assert first.succeeded and second.succeeded
+        assert home.kernel.now >= 0.090  # serialized on the surviving slot
+
+    def test_remove_replica_validation(self, home):
+        host = ServiceHost(home.kernel, home.desktop, echo_service(),
+                           home.transport, replicas=2)
+        with pytest.raises(ServiceError):
+            host.remove_replica(0)
+        with pytest.raises(ServiceError, match="below one replica"):
+            host.remove_replica(2)
+
+    def test_remove_replica_lets_busy_calls_finish(self, home):
+        host = ServiceHost(home.kernel, home.desktop, echo_service(0.100),
+                           home.transport, replicas=2)
+        first = host.call_local({})
+        second = host.call_local({})
+
+        def shrink():
+            host.remove_replica(1)
+
+        home.kernel.schedule(0.010, shrink)
+        home.kernel.run()
+        # both in-progress calls completed in parallel despite the shrink
+        assert first.succeeded and second.succeeded
+        assert home.kernel.now < 0.150
+        assert host.replicas == 1
+
 
 class TestRemoteCalls:
     def test_remote_call_pays_decode_then_serves(self, home):

@@ -86,6 +86,67 @@ class TestScheduling:
         assert seen == ["a", "b"]
 
 
+class Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_schedule(self, now, event):
+        self.calls.append(("S", now, event.time, event.seq))
+
+    def on_execute(self, now, event):
+        self.calls.append(("X", now, event.time, event.seq))
+
+
+class TestObservers:
+    def test_observer_sees_every_schedule_and_execute(self):
+        kernel = Kernel()
+        recorder = Recorder()
+        kernel.add_observer(recorder)
+        kernel.schedule(0.1, lambda: None)
+        kernel.schedule(0.2, lambda: None)
+        kernel.run()
+        assert [c[0] for c in recorder.calls] == ["S", "S", "X", "X"]
+        # execute order follows event time, schedule order follows seq
+        assert recorder.calls[2][2] == 0.1
+        assert recorder.calls[3][2] == 0.2
+
+    def test_add_observer_is_idempotent(self):
+        kernel = Kernel()
+        recorder = Recorder()
+        kernel.add_observer(recorder)
+        kernel.add_observer(recorder)
+        kernel.schedule(0.1, lambda: None)
+        assert len(recorder.calls) == 1
+
+    def test_remove_observer_stops_notifications(self):
+        kernel = Kernel()
+        recorder = Recorder()
+        kernel.add_observer(recorder)
+        kernel.schedule(0.1, lambda: None)
+        kernel.remove_observer(recorder)
+        kernel.run()
+        assert [c[0] for c in recorder.calls] == ["S"]
+
+    def test_observation_does_not_perturb_event_sequencing(self):
+        def build(observed):
+            kernel = Kernel()
+            if observed:
+                kernel.add_observer(Recorder())
+            log = []
+
+            def worker(tag, period):
+                for _ in range(3):
+                    log.append((kernel.now, tag))
+                    yield period
+
+            kernel.process(worker("a", 0.1))
+            kernel.process(worker("b", 0.15))
+            kernel.run()
+            return log, kernel._seq
+
+        assert build(observed=True) == build(observed=False)
+
+
 class TestTimeout:
     def test_timeout_resolves_with_value(self):
         k = Kernel()

@@ -56,6 +56,40 @@ class TestResource:
         assert acquired == [0.0, 0.0]
         assert kernel.now == 1.0
 
+    def test_shrink_validation(self, kernel):
+        res = Resource(kernel, capacity=2)
+        with pytest.raises(SimulationError):
+            res.shrink(0)
+        with pytest.raises(SimulationError):
+            res.shrink(2)  # would leave zero slots
+
+    def test_shrink_is_lazy_for_busy_slots(self, kernel):
+        res = Resource(kernel, capacity=2)
+        log = []
+        hold(kernel, res, 1.0, log, "a")
+        hold(kernel, res, 1.0, log, "b")
+        hold(kernel, res, 1.0, log, "c")  # queued behind a and b
+        observed = {}
+
+        def shrink_mid_run():
+            res.shrink(1)
+            # both holders keep their grants past the new capacity
+            observed["in_use"] = res.in_use
+            observed["capacity"] = res.capacity
+
+        kernel.schedule(0.5, shrink_mid_run)
+        kernel.run()
+        assert observed == {"in_use": 2, "capacity": 1}
+        # the waiter only got the single surviving slot after BOTH released
+        assert ("c", "acquired", 1.0) in log
+        assert res.in_use == 0
+
+    def test_shrink_then_grow_round_trips(self, kernel):
+        res = Resource(kernel, capacity=3)
+        res.shrink(2)
+        res.grow(1)
+        assert res.capacity == 2
+
     def test_priority_order_served_first(self, kernel):
         res = Resource(kernel, capacity=1)
         log = []
