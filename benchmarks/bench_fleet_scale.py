@@ -1,0 +1,115 @@
+"""Fleet-scale placement ablation: 50 homes, one kernel, three strategies.
+
+The paper's deployment claim (co-location beats the single-host baseline,
+§5.1/Fig. 6) is measured on one home; the ROADMAP's north star is fleet
+scale. This benchmark instantiates 50 heterogeneous homes in a single
+simulation kernel (``repro.fleet``) and compares end-to-end latency under
+``single-host`` (EdgeEye baseline), ``colocated`` (the paper's heuristic),
+and ``optimized`` (the capacity-aware cost-model search, which degrades to
+the co-located plan whenever the heuristic is already optimal).
+
+Set ``REPRO_FLEET_OUT`` to persist the fleet reports as a JSON artifact
+(CI uploads it).
+"""
+
+import json
+import os
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.metrics import format_table
+from repro.pipeline import COLOCATED, OPTIMIZED, SINGLE_HOST
+
+from .conftest import FAST
+
+HOMES = 50
+DURATION_S = 2.0 if FAST else 6.0
+STRATEGIES = (SINGLE_HOST, COLOCATED, OPTIMIZED)
+
+
+def test_fleet_scale_placement_ablation(benchmark, tmp_path):
+    reports = {}
+
+    def run():
+        for strategy in STRATEGIES:
+            reports[strategy] = run_fleet(FleetConfig(
+                homes=HOMES, seed=23, strategy=strategy,
+                duration_s=DURATION_S,
+            ))
+        return reports
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["strategy", "frames", "drop %", "mean (ms)", "p50 (ms)",
+         "p99 (ms)", "migrations"],
+        [[strategy,
+          reports[strategy].completed,
+          reports[strategy].drop_rate * 100,
+          reports[strategy].latency.mean * 1e3,
+          reports[strategy].latency.p50 * 1e3,
+          reports[strategy].latency.p99 * 1e3,
+          reports[strategy].migrations]
+         for strategy in STRATEGIES],
+        title=f"Fleet-scale ablation — {HOMES} homes, one kernel",
+        float_format="{:.1f}",
+    ))
+
+    for strategy in STRATEGIES:
+        report = reports[strategy]
+        assert report.homes == HOMES
+        assert report.completed > 0, strategy
+        benchmark.extra_info[f"{strategy}_mean_ms"] = round(
+            report.latency.mean * 1e3, 2)
+        benchmark.extra_info[f"{strategy}_p99_ms"] = round(
+            report.latency.p99 * 1e3, 2)
+        benchmark.extra_info[f"{strategy}_drop_rate"] = round(
+            report.drop_rate, 4)
+
+    artifact = os.environ.get("REPRO_FLEET_OUT",
+                              str(tmp_path / "fleet_scale.json"))
+    os.makedirs(os.path.dirname(os.path.abspath(artifact)), exist_ok=True)
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump({s: reports[s].as_dict() for s in STRATEGIES}, fh, indent=2)
+    print(f"fleet reports written to {artifact}")
+
+    # the acceptance criterion: optimized placement never loses to the
+    # single-host baseline on mean end-to-end latency (smoke mode included —
+    # the comparison is stable even over a short window)
+    assert (reports[OPTIMIZED].latency.mean
+            <= reports[SINGLE_HOST].latency.mean)
+    if FAST:
+        return  # smoke mode: the tighter shape assertions need more frames
+    # co-location is the mechanism optimized placement generalizes, so it
+    # must also beat the baseline, and nothing should be dropping frames in
+    # a fault-free fleet
+    assert reports[COLOCATED].latency.mean < reports[SINGLE_HOST].latency.mean
+    for strategy in STRATEGIES:
+        assert reports[strategy].drop_rate == 0.0, strategy
+
+
+def test_fleet_online_optimizer_smoke(benchmark):
+    """The online loop at fleet scale: tracing + audit + live re-placement
+    enabled for a smaller fleet; the run must stay healthy (no drops, sane
+    replan accounting) whether or not any home actually migrates."""
+    homes = 6 if FAST else 12
+    out = {}
+
+    def run():
+        out["report"] = run_fleet(FleetConfig(
+            homes=homes, seed=31, strategy=OPTIMIZED,
+            duration_s=DURATION_S, online=True, tracing=True, audit=True,
+        ))
+        return out["report"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = out["report"]
+    print()
+    print(report.describe())
+    assert report.completed > 0
+    assert report.drop_rate <= 0.05
+    # every sink saw strictly increasing frame ids (credit protocol held)
+    for result in report.results:
+        assert result.sink_frame_ids == sorted(set(result.sink_frame_ids))
+    benchmark.extra_info["replans"] = report.replans
+    benchmark.extra_info["migrations"] = report.migrations

@@ -55,6 +55,12 @@ from ..pipeline.config import (
 )
 from ..pipeline.deployer import Deployer
 from ..pipeline.pipeline import Pipeline
+from ..pipeline.optimizer import (
+    OPTIMIZED,
+    OnlineOptimizer,
+    OptimizerConfig,
+    plan_optimized,
+)
 from ..pipeline.placement import (
     COLOCATED,
     SINGLE_HOST,
@@ -85,8 +91,16 @@ class VideoPipe:
         wifi: LinkSpec | None = None,
         transport: str = "zeromq",
         broker_device: str | None = None,
+        kernel: Kernel | None = None,
     ) -> None:
-        self.kernel: Kernel = RealtimeKernel(speed) if realtime else Kernel()
+        if kernel is not None and realtime:
+            raise ConfigError("a shared kernel cannot be combined with realtime")
+        if kernel is not None:
+            # many homes on one clock — the fleet harness (repro.fleet)
+            # simulates N homes in a single kernel this way
+            self.kernel = kernel
+        else:
+            self.kernel = RealtimeKernel(speed) if realtime else Kernel()
         self.rng = RngStreams(seed)
         self.topology = Topology(self.kernel, self.rng)
         self.topology.add_wifi("wifi", wifi or WIFI_HOME)
@@ -103,6 +117,7 @@ class VideoPipe:
         self.injector: ChaosInjector | None = None
         self._responders: dict[str, HeartbeatResponder] = {}
         self._perf: PerfConfig | None = None
+        self.optimizer: OnlineOptimizer | None = None
         self.tracer: TraceRecorder | None = None
         self.auditor: InvariantAuditor | None = None
         self.pipelines: list[Pipeline] = []
@@ -388,6 +403,26 @@ class VideoPipe:
             self.monitor.start()
         return self.monitor
 
+    def enable_optimizer(self, config: OptimizerConfig | None = None) -> OnlineOptimizer:
+        """Turn on online placement re-optimization for all current and
+        future pipelines.
+
+        The optimizer periodically re-scores each watched pipeline's
+        placement against the capacity-aware cost model — calibrated with
+        live metrics/trace data — and live-migrates modules when the
+        predicted improvement clears the config's threshold (see
+        :class:`~repro.pipeline.optimizer.OnlineOptimizer` and
+        ``docs/PLACEMENT.md``). Also makes the ``"optimized"`` strategy in
+        :meth:`plan`/:meth:`deploy_pipeline` use *config*'s knobs.
+        Idempotent: a second call returns the existing optimizer.
+        """
+        if self.optimizer is None:
+            self.optimizer = OnlineOptimizer(self, config)
+            for pipeline in self.pipelines:
+                self.optimizer.watch(pipeline)
+            self.optimizer.start()
+        return self.optimizer
+
     def enable_autoscaling(self, policy: ScalingPolicy | None = None) -> AutoScaler:
         """Turn on the §7 future-work autoscaler for all current and future
         service hosts."""
@@ -505,6 +540,12 @@ class VideoPipe:
             return plan_cost_optimized(
                 config, self.devices, self.registry, self.topology, default
             )
+        if strategy == OPTIMIZED:
+            default = default_device or next(iter(self.devices))
+            return plan_optimized(
+                config, self.devices, self.registry, self.topology, default,
+                optimizer=self.optimizer.config if self.optimizer else None,
+            )
         raise ConfigError(f"unknown placement strategy {strategy!r}")
 
     def deploy_pipeline(
@@ -531,6 +572,8 @@ class VideoPipe:
             prefer_local_services=prefer_local_services,
         )
         self.pipelines.append(pipeline)
+        if self.optimizer is not None:
+            self.optimizer.watch(pipeline)
         if self.tracer is not None:
             pipeline.wiring.tracer = self.tracer
         if self.auditor is not None:

@@ -53,6 +53,22 @@ def laptop(name: str = "laptop") -> DeviceSpec:
     )
 
 
+def tablet(name: str = "tablet") -> DeviceSpec:
+    """A container-capable tablet: between the laptop and the phone —
+    common as the second-fastest device in the fleet harness's
+    heterogeneous homes."""
+    return DeviceSpec(
+        name=name,
+        kind="tablet",
+        cpu_factor=2.0,
+        cores=6,
+        memory_mb=4096,
+        supports_containers=True,
+        os="android",
+        compute_jitter_cv=0.15,
+    )
+
+
 def smart_tv_4k(name: str = "tv") -> DeviceSpec:
     """The display device: a Tizen-like TV; modules only, no containers."""
     return DeviceSpec(
@@ -100,6 +116,7 @@ CATALOG = {
     "phone": flagship_phone_2018,
     "desktop": desktop,
     "laptop": laptop,
+    "tablet": tablet,
     "tv": smart_tv_4k,
     "fridge": smart_fridge,
     "watch": smartwatch,

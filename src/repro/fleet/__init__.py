@@ -1,0 +1,31 @@
+"""Fleet-scale simulation: many homes, one kernel (see ``docs/PLACEMENT.md``)."""
+
+from .harness import (
+    STRATEGIES,
+    Fleet,
+    FleetConfig,
+    FleetReport,
+    HomeResult,
+    run_fleet,
+)
+from .workload import (
+    FleetSinkModule,
+    FleetStageModule,
+    home_device_kinds,
+    home_pipeline_config,
+    install_home_services,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSinkModule",
+    "FleetStageModule",
+    "HomeResult",
+    "STRATEGIES",
+    "home_device_kinds",
+    "home_pipeline_config",
+    "install_home_services",
+    "run_fleet",
+]

@@ -1,0 +1,270 @@
+"""Fleet-scale workload harness: N homes in ONE simulation kernel.
+
+The ROADMAP's north star is scale — placement quality claims made on one
+home say nothing about a fleet of heterogeneous ones. This harness
+instantiates ``FleetConfig.homes`` independent :class:`VideoPipe` homes on
+a single shared :class:`~repro.sim.kernel.Kernel` (one clock, one event
+heap), each with its own seeded device mix, services and pipeline, runs
+them concurrently, and aggregates fleet-level metrics: p50/p99 end-to-end
+latency, drop rate, migration and replan counts.
+
+Everything is deterministic under ``FleetConfig.seed``: device mixes and
+frame rates come from per-home ``random.Random`` streams derived from it,
+and each home's own RNG seed is an affine function of it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.videopipe import VideoPipe
+from ..devices.catalog import make_spec
+from ..errors import ConfigError
+from ..metrics.stats import Summary, summarize
+from ..pipeline.optimizer import OPTIMIZED, OptimizerConfig, plan_optimized
+from ..pipeline.pipeline import Pipeline
+from ..pipeline.placement import COLOCATED, SINGLE_HOST
+from ..pipeline.scheduler import COST_OPTIMIZED
+from ..sim.kernel import Kernel
+from .workload import (
+    home_device_kinds,
+    home_pipeline_config,
+    install_home_services,
+)
+
+STRATEGIES = (COLOCATED, SINGLE_HOST, COST_OPTIMIZED, OPTIMIZED)
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Shape of one fleet run.
+
+    Attributes:
+        homes: number of homes sharing the kernel (the bench uses 50).
+        seed: master seed; the whole fleet is deterministic under it.
+        strategy: placement strategy for every home's pipeline.
+        fps_choices: per-home frame rate, drawn from this tuple.
+        duration_s: camera capture duration per home.
+        tail_s: extra simulated seconds after capture ends, letting
+            in-flight frames drain before metrics are read.
+        online: enable each home's :class:`OnlineOptimizer
+            <repro.pipeline.optimizer.OnlineOptimizer>` (live re-placement).
+        audit: enable each home's invariant auditor.
+        tracing: enable each home's trace recorder (feeds the online
+            optimizer's calibration).
+        balancing: per-pipeline replica-selection policy (``None`` keeps
+            the ``fastest`` default).
+        optimizer: cost-model/search knobs for ``optimized`` placement and
+            the online loop.
+    """
+
+    homes: int = 50
+    seed: int = 0
+    strategy: str = OPTIMIZED
+    fps_choices: tuple[float, ...] = (4.0, 6.0, 8.0)
+    duration_s: float = 4.0
+    tail_s: float = 2.0
+    online: bool = False
+    audit: bool = False
+    tracing: bool = False
+    balancing: str | None = None
+    optimizer: OptimizerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.homes < 1:
+            raise ConfigError("homes must be >= 1")
+        if self.strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown fleet strategy {self.strategy!r}; known: {STRATEGIES}"
+            )
+        if not self.fps_choices or any(f <= 0 for f in self.fps_choices):
+            raise ConfigError("fps_choices must be positive")
+        if self.duration_s <= 0 or self.tail_s < 0:
+            raise ConfigError("duration_s must be positive, tail_s >= 0")
+
+
+@dataclass(slots=True)
+class HomeResult:
+    """One home's outcome after a fleet run."""
+
+    name: str
+    devices: list[str]
+    strategy: str  # the plan actually used (optimized may fall back)
+    completed: int
+    dropped: int
+    migrations: int
+    replans: int
+    latencies: list[float]
+    sink_frame_ids: list[int]
+
+
+@dataclass(slots=True)
+class FleetReport:
+    """Fleet-level aggregates plus the per-home results behind them."""
+
+    homes: int
+    strategy: str
+    duration_s: float
+    completed: int
+    dropped: int
+    migrations: int
+    replans: int
+    latency: Summary
+    results: list[HomeResult] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.completed + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "homes": self.homes,
+            "strategy": self.strategy,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "drop_rate": self.drop_rate,
+            "migrations": self.migrations,
+            "replans": self.replans,
+            "latency": self.latency.as_dict(),
+        }
+
+    def describe(self) -> str:
+        lat = self.latency
+        return (
+            f"fleet[{self.strategy}] {self.homes} homes:"
+            f" {self.completed} frames,"
+            f" drop {self.drop_rate:.1%},"
+            f" latency mean {lat.mean * 1e3:.1f} ms"
+            f" p50 {lat.p50 * 1e3:.1f} ms p99 {lat.p99 * 1e3:.1f} ms,"
+            f" {self.migrations} migrations, {self.replans} replans"
+        )
+
+
+class Fleet:
+    """N homes, one kernel. Build, :meth:`run`, :meth:`report`."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+        self.kernel = Kernel()
+        self.homes: list[VideoPipe] = []
+        self.pipelines: list[Pipeline] = []
+        self._build()
+
+    # -- construction --------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        for index in range(cfg.homes):
+            # a per-home stream for the mix/fps draws, decoupled from the
+            # home's own RNG so adding knobs never shifts another home
+            mix_rng = random.Random(f"fleet/{cfg.seed}/{index}")
+            home = VideoPipe(seed=cfg.seed + 101 * index, kernel=self.kernel)
+            self.homes.append(home)
+            device_names = self._add_devices(home, home_device_kinds(mix_rng))
+            camera, hub = device_names[0], device_names[1]
+            install_home_services(home, hub, camera)
+            if cfg.audit:
+                home.enable_audit()
+            if cfg.tracing:
+                home.enable_tracing()
+            if cfg.online:
+                home.enable_optimizer(cfg.optimizer)
+            fps = cfg.fps_choices[mix_rng.randrange(len(cfg.fps_choices))]
+            pipeline_config = home_pipeline_config(
+                f"home{index}",
+                camera,
+                fps=fps,
+                duration_s=cfg.duration_s,
+                balancing=cfg.balancing,
+            )
+            if cfg.strategy == SINGLE_HOST:
+                # the EdgeEye-style baseline: the whole app on the camera
+                # device, every service call remote
+                pipeline = home.deploy_pipeline(
+                    pipeline_config,
+                    strategy=SINGLE_HOST,
+                    host_device=camera,
+                    prefer_local_services=False,
+                )
+            elif cfg.strategy == OPTIMIZED:
+                placement = plan_optimized(
+                    pipeline_config, home.devices, home.registry,
+                    home.topology, camera, optimizer=cfg.optimizer,
+                )
+                pipeline = home.deploy_pipeline(
+                    pipeline_config, placement=placement
+                )
+            else:
+                pipeline = home.deploy_pipeline(
+                    pipeline_config,
+                    strategy=cfg.strategy,
+                    default_device=camera,
+                )
+            self.pipelines.append(pipeline)
+
+    @staticmethod
+    def _add_devices(home: VideoPipe, kinds: list[str]) -> list[str]:
+        names: list[str] = []
+        counts: dict[str, int] = {}
+        for kind in kinds:
+            counts[kind] = counts.get(kind, 0) + 1
+            name = kind if counts[kind] == 1 else f"{kind}{counts[kind]}"
+            home.add_device(make_spec(kind, name))
+            names.append(name)
+        return names
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the shared kernel to *until* (default: capture duration plus
+        the drain tail), then stop any online optimizers and drain the
+        remaining in-flight work so quiesce-time invariants hold."""
+        horizon = (
+            until if until is not None
+            else self.config.duration_s + self.config.tail_s
+        )
+        self.kernel.run(until=horizon)
+        for home in self.homes:
+            if home.optimizer is not None:
+                home.optimizer.stop()
+        return self.kernel.run()
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> FleetReport:
+        results: list[HomeResult] = []
+        latencies: list[float] = []
+        for home, pipeline in zip(self.homes, self.pipelines):
+            metrics = pipeline.metrics
+            sink = pipeline.module_instance("sink")
+            result = HomeResult(
+                name=pipeline.name,
+                devices=sorted(home.devices),
+                strategy=pipeline.placement.strategy,
+                completed=metrics.counter("frames_completed"),
+                dropped=metrics.counter("frames_dropped"),
+                migrations=metrics.counter("migrations"),
+                replans=metrics.counter("replans"),
+                latencies=metrics.total_latencies,
+                sink_frame_ids=list(sink.frame_ids),
+            )
+            results.append(result)
+            latencies.extend(result.latencies)
+        return FleetReport(
+            homes=len(self.homes),
+            strategy=self.config.strategy,
+            duration_s=self.config.duration_s,
+            completed=sum(r.completed for r in results),
+            dropped=sum(r.dropped for r in results),
+            migrations=sum(r.migrations for r in results),
+            replans=sum(r.replans for r in results),
+            latency=summarize(latencies) if latencies else Summary.empty(),
+            results=results,
+        )
+
+
+def run_fleet(config: FleetConfig | None = None) -> FleetReport:
+    """Build a fleet, run it to completion, and return its report."""
+    fleet = Fleet(config)
+    fleet.run()
+    return fleet.report()

@@ -47,6 +47,18 @@ class MetricsCollector:
             return Summary.empty()
         return summarize(samples)
 
+    def recent_stage_mean(self, stage: str, window: int = 20) -> float | None:
+        """Mean of the last *window* samples of one stage, in seconds, or
+        ``None`` when the stage has no samples. The online placement
+        optimizer calibrates its cost model with this — recent samples
+        track the running system where the all-time mean still remembers a
+        cold start or a load spike long past."""
+        samples = self._stages.get(stage)
+        if not samples:
+            return None
+        tail = samples[-window:]
+        return sum(tail) / len(tail)
+
     def stage_means_ms(self) -> dict[str, float]:
         """Mean latency per stage in milliseconds (Fig. 6's quantity)."""
         return {

@@ -16,6 +16,16 @@ from .dag import (
     validate,
 )
 from .deployer import Deployer
+from .optimizer import (
+    OPTIMIZED,
+    CostModel,
+    OnlineOptimizer,
+    OptimizedCost,
+    OptimizerConfig,
+    ReplanEvent,
+    observed_module_seconds,
+    plan_optimized,
+)
 from .parser import parse_pipeline_json, parse_pipeline_text
 from .pipeline import Pipeline
 from .placement import (
@@ -36,10 +46,18 @@ __all__ = [
     "AuditConfig",
     "COLOCATED",
     "COST_OPTIMIZED",
+    "CostModel",
     "Deployer",
+    "OPTIMIZED",
+    "OnlineOptimizer",
+    "OptimizedCost",
+    "OptimizerConfig",
     "PlacementCost",
     "PlacementModel",
+    "ReplanEvent",
+    "observed_module_seconds",
     "plan_cost_optimized",
+    "plan_optimized",
     "ModuleConfig",
     "Pipeline",
     "PerfConfig",

@@ -153,18 +153,31 @@ class PipelineConfig:
     pipeline's modules; ``None`` derives a per-target timeout from the
     link/compute budget (see
     :func:`repro.services.stubs.derive_service_timeout`).
+
+    ``balancing`` selects the replica-selection policy for this pipeline's
+    remote service stubs (see :mod:`repro.services.balancer`); ``None``
+    keeps the home default (``fastest``).
     """
 
     name: str
     modules: list[ModuleConfig] = field(default_factory=list)
     source: str | None = None
     service_timeout_s: float | None = None
+    balancing: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigError("pipeline needs a name")
         if self.service_timeout_s is not None and self.service_timeout_s <= 0:
             raise ConfigError("service_timeout_s must be positive")
+        if self.balancing is not None:
+            from ..services.balancer import POLICIES
+
+            if self.balancing not in POLICIES:
+                raise ConfigError(
+                    f"unknown balancing policy {self.balancing!r};"
+                    f" known: {POLICIES}"
+                )
         seen: set[str] = set()
         for module in self.modules:
             if module.name in seen:
@@ -200,6 +213,7 @@ class PipelineConfig:
             "name": self.name,
             "source": self.source,
             "service_timeout_s": self.service_timeout_s,
+            "balancing": self.balancing,
             "modules": [
                 {
                     "name": m.name,
@@ -247,4 +261,5 @@ def config_from_dict(data: dict[str, Any]) -> PipelineConfig:
     return PipelineConfig(
         name=data["name"], modules=modules, source=data.get("source"),
         service_timeout_s=data.get("service_timeout_s"),
+        balancing=data.get("balancing"),
     )

@@ -89,6 +89,7 @@ class Deployer:
                         device,
                         service,
                         prefer_local=prefer_local_services,
+                        balancing=config.balancing or "fastest",
                         timeout_s=config.service_timeout_s,
                     )
                     for service in module_cfg.services
@@ -144,12 +145,22 @@ class Deployer:
         if target.runtime is None:
             raise DeploymentError(f"device {target_device!r} has no runtime")
 
-        # stop the old instance and salvage queued events
+        # stop the old instance and salvage queued events; frames those
+        # events carried leave the pipeline here, so they are accounted as
+        # dropped (same bookkeeping as a device crash draining mailboxes) —
+        # otherwise each one leaks a frames_in_flight slot forever
         old_runtime = old_deployed.runtime
         old_runtime.undeploy(module_name)
         dropped = old_deployed.mailbox.drain()
+        seen_frames: set[int] = set()
         for event in dropped:
             release_refs(event.payload, old_runtime.device.frame_store)
+            payload = event.payload
+            if isinstance(payload, dict) and "frame_id" in payload:
+                frame_id = payload["frame_id"]
+                if frame_id not in seen_frames:
+                    seen_frames.add(frame_id)
+                    old_deployed.ctx.frame_dropped(frame_id)
         if dropped:
             pipeline.metrics.increment("migration_dropped_events", len(dropped))
 
@@ -161,6 +172,7 @@ class Deployer:
         stubs = {
             service: make_stub(
                 self.kernel, self.transport, self.registry, target, service,
+                balancing=pipeline.config.balancing or "fastest",
                 timeout_s=pipeline.config.service_timeout_s,
             )
             for service in module_cfg.services

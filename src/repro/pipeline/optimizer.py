@@ -1,0 +1,562 @@
+"""Capacity-aware placement optimization and online re-placement.
+
+:mod:`repro.pipeline.scheduler` searches placements against a pure latency
+model. That is the right objective for one pipeline in an idle home, but it
+is blind to two things that dominate at fleet scale: device *capacity*
+(piling every module of a 30 fps pipeline onto the one fast desktop melts
+it) and *drift* (the placement that was optimal at deploy time stops being
+optimal when a device slows down, crashes, or picks up a second pipeline).
+
+This module adds both:
+
+* :class:`CostModel` extends the scheduler's latency model with a
+  utilization term (offered load per device, normalized by cores) and a
+  memory-footprint term, and can be *calibrated* with observed per-module
+  latencies so the model tracks the running system rather than its specs.
+* :func:`plan_optimized` searches assignments against that richer score —
+  exhaustively when the space is small, with seeded random-restart local
+  search otherwise — and degrades gracefully to the co-located heuristic:
+  when the search finds nothing strictly better, the
+  :func:`~repro.pipeline.placement.plan_colocated` plan is returned as-is.
+* :class:`OnlineOptimizer` closes the loop: it periodically re-plans every
+  watched pipeline from live ``MetricsCollector``/trace critical-path data
+  and feeds the winning moves into :meth:`Deployer.migrate
+  <repro.pipeline.deployer.Deployer.migrate>`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..devices.device import Device
+from ..errors import ConfigError, Interrupt, PlacementError
+from ..net.topology import Topology
+from ..runtime.module import Module
+from ..services.registry import ServiceRegistry
+from ..services.stubs import API_MARSHAL_S
+from .config import PipelineConfig
+from .placement import (
+    PlacementPlan,
+    _check_device,
+    plan_colocated,
+    plan_single_host,
+)
+from .scheduler import PlacementCost, PlacementModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.videopipe import VideoPipe
+    from .pipeline import Pipeline
+
+OPTIMIZED = "optimized"
+
+#: Clamp on the observed/modeled calibration ratio: a wildly off sample
+#: (e.g. one frame measured during a network blip) must not swing the
+#: model by more than this factor in either direction.
+_CALIBRATION_CLAMP = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizerConfig:
+    """Knobs for the cost model, the search, and online re-placement.
+
+    Attributes:
+        edge_bytes: assumed payload size on pipeline edges (a quality-80
+            VGA JPEG by default, matching the scheduler's estimate).
+        fps: offered load per pipeline, used to convert per-event compute
+            seconds into device utilization.
+        capacity_weight_s: latency-equivalent penalty (seconds) per unit of
+            device over-utilization; 0 disables the capacity term.
+        memory_weight_s: latency-equivalent penalty (seconds) per unit of
+            module-footprint overflow past half a device's RAM.
+        module_footprint_mb: assumed resident footprint of one deployed
+            module (runtime + model weights).
+        max_candidates: exhaustive-search budget; larger spaces fall back
+            to seeded random-restart local search.
+        restarts: random restarts for the local search.
+        seed: seed for the restart RNG (search is deterministic under it).
+        replan_interval_s: how often the online optimizer reconsiders each
+            watched pipeline.
+        replan_threshold_frac: minimum predicted fractional latency
+            improvement before the online optimizer migrates anything —
+            the hysteresis that keeps it from chasing noise.
+    """
+
+    edge_bytes: int = 42_000
+    fps: float = 10.0
+    capacity_weight_s: float = 1.0
+    memory_weight_s: float = 0.5
+    module_footprint_mb: int = 64
+    max_candidates: int = 20_000
+    restarts: int = 3
+    seed: int = 0
+    replan_interval_s: float = 2.0
+    replan_threshold_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.edge_bytes < 0:
+            raise ConfigError("edge_bytes must be >= 0")
+        if self.fps <= 0:
+            raise ConfigError("fps must be positive")
+        if self.capacity_weight_s < 0 or self.memory_weight_s < 0:
+            raise ConfigError("penalty weights must be >= 0")
+        if self.module_footprint_mb < 0:
+            raise ConfigError("module_footprint_mb must be >= 0")
+        if self.max_candidates < 1:
+            raise ConfigError("max_candidates must be >= 1")
+        if self.restarts < 0:
+            raise ConfigError("restarts must be >= 0")
+        if self.replan_interval_s <= 0:
+            raise ConfigError("replan_interval_s must be positive")
+        if not 0 <= self.replan_threshold_frac < 1:
+            raise ConfigError("replan_threshold_frac must be in [0, 1)")
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizedCost:
+    """One candidate's score: modeled latency plus capacity/memory penalties."""
+
+    latency: PlacementCost
+    capacity_penalty_s: float
+    memory_penalty_s: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.latency.critical_path_s
+            + self.capacity_penalty_s
+            + self.memory_penalty_s
+        )
+
+
+class CostModel(PlacementModel):
+    """The scheduler's latency model plus capacity, memory and calibration.
+
+    ``observed_module_s`` maps a module name to ``(observed_seconds,
+    device_measured_on)``; the model scales its per-module prediction by the
+    observed/modeled ratio on the measured device (clamped to 4x either
+    way), so a module that runs hotter than its spec suggests is charged
+    accordingly on *every* candidate device.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        devices: dict[str, Device],
+        registry: ServiceRegistry,
+        topology: Topology,
+        optimizer: OptimizerConfig | None = None,
+        observed_module_s: dict[str, tuple[float, str]] | None = None,
+    ) -> None:
+        self.optimizer = optimizer or OptimizerConfig()
+        super().__init__(
+            config, devices, registry, topology,
+            edge_bytes=lambda a, b: self.optimizer.edge_bytes,
+        )
+        self.observed_module_s = dict(observed_module_s or {})
+        self._calibration: dict[str, float] = {}
+        self._module_cost_cache: dict[tuple[str, str], float] = {}
+        self._transfer_cache: dict[tuple[str, str], float] = {}
+
+    # -- calibrated node/edge costs ------------------------------------------
+    def module_cost(self, module, device_name: str) -> float:
+        key = (module.name, device_name)
+        cached = self._module_cost_cache.get(key)
+        if cached is None:
+            cached = (
+                PlacementModel.module_cost(self, module, device_name)
+                * self.calibration(module.name)
+            )
+            self._module_cost_cache[key] = cached
+        return cached
+
+    def transfer_cost(self, src_device: str, dst_device: str) -> float:
+        key = (src_device, dst_device)
+        cached = self._transfer_cache.get(key)
+        if cached is None:
+            cached = PlacementModel.transfer_cost(self, src_device, dst_device)
+            self._transfer_cache[key] = cached
+        return cached
+
+    def calibration(self, module_name: str) -> float:
+        """Observed/modeled cost ratio for one module (1.0 when unobserved)."""
+        factor = self._calibration.get(module_name)
+        if factor is not None:
+            return factor
+        entry = self.observed_module_s.get(module_name)
+        factor = 1.0
+        if entry is not None:
+            observed_s, measured_device = entry
+            if measured_device in self.devices:
+                modeled = PlacementModel.module_cost(
+                    self, self.config.module(module_name), measured_device
+                )
+                if modeled > 0 and observed_s > 0:
+                    factor = min(
+                        _CALIBRATION_CLAMP,
+                        max(1.0 / _CALIBRATION_CLAMP, observed_s / modeled),
+                    )
+        self._calibration[module_name] = factor
+        return factor
+
+    # -- capacity and memory --------------------------------------------------
+    def utilization(self, assignments: dict[str, str]) -> dict[str, float]:
+        """Offered busy-seconds per second per device, normalized by cores.
+
+        Each module charges its dispatch overhead (and the marshal cost of
+        any remote service call) to its hosting device at ``fps`` events
+        per second; each service call charges the service's compute time to
+        the device that actually executes it.
+        """
+        load: dict[str, float] = {name: 0.0 for name in self.devices}
+        fps = self.optimizer.fps
+        for module_name, device_name in assignments.items():
+            module = self.config.module(module_name)
+            device = self.devices[device_name]
+            load[device_name] += fps * device.spec.compute_time(
+                Module.event_overhead_s
+            )
+            for service_name in module.services:
+                host = self.registry.host_on(service_name, device_name)
+                if host is None:
+                    host = self._best_remote_host(service_name, device_name)
+                    # request + reply marshaling burns the caller's CPU
+                    load[device_name] += fps * device.spec.compute_time(
+                        2 * API_MARSHAL_S
+                    )
+                exec_device = host.device
+                load[exec_device.name] = load.get(exec_device.name, 0.0) + (
+                    fps * exec_device.spec.compute_time(
+                        host.service.reference_cost_s
+                    )
+                )
+        cores = {
+            name: self.devices[name].spec.cores if name in self.devices else 1
+            for name in load
+        }
+        return {
+            name: seconds / max(1, cores[name])
+            for name, seconds in load.items()
+        }
+
+    def _best_remote_host(self, service_name: str, caller_device: str):
+        """The remote host :meth:`_service_cost` would pick (cheapest by
+        service time + round trip)."""
+        best = None
+        for host in self.registry.hosts_of(service_name):
+            penalty = self.topology.expected_delay(
+                caller_device, host.device.name,
+                self.edge_bytes(caller_device, host.device.name),
+            )
+            service_time = host.device.spec.compute_time(
+                host.service.reference_cost_s
+            )
+            total = penalty + service_time
+            if best is None or total < best[0]:
+                best = (total, host)
+        if best is None:
+            raise PlacementError(f"service {service_name!r} is hosted nowhere")
+        return best[1]
+
+    def capacity_penalty(self, assignments: dict[str, str]) -> float:
+        overload = sum(
+            max(0.0, u - 1.0) for u in self.utilization(assignments).values()
+        )
+        return self.optimizer.capacity_weight_s * overload
+
+    def memory_penalty(self, assignments: dict[str, str]) -> float:
+        counts: dict[str, int] = {}
+        for device_name in assignments.values():
+            counts[device_name] = counts.get(device_name, 0) + 1
+        penalty = 0.0
+        for device_name, count in counts.items():
+            spec = self.devices[device_name].spec
+            footprint = count * self.optimizer.module_footprint_mb
+            budget = max(1.0, spec.memory_mb * 0.5)
+            if footprint > budget:
+                penalty += (
+                    self.optimizer.memory_weight_s
+                    * (footprint - budget) / budget
+                )
+        return penalty
+
+    def score(self, assignments: dict[str, str]) -> OptimizedCost:
+        """Full verdict on one candidate placement."""
+        return OptimizedCost(
+            latency=self.evaluate(assignments),
+            capacity_penalty_s=self.capacity_penalty(assignments),
+            memory_penalty_s=self.memory_penalty(assignments),
+        )
+
+
+def plan_optimized(
+    config: PipelineConfig,
+    devices: dict[str, Device],
+    registry: ServiceRegistry,
+    topology: Topology,
+    default_device: str,
+    optimizer: OptimizerConfig | None = None,
+    observed_module_s: dict[str, tuple[float, str]] | None = None,
+) -> PlacementPlan:
+    """Search device assignments against the capacity-aware cost model.
+
+    Pinned modules stay pinned. Small spaces are searched exhaustively
+    (``optimizer.max_candidates`` combinations); larger ones run greedy
+    local search from the co-located plan, the single-host plan, and
+    ``optimizer.restarts`` seeded random starts. When nothing beats the
+    co-located heuristic strictly, that plan is returned unchanged
+    (``strategy == "colocated"``) — on the paper's testbed the two agree,
+    and callers can treat the strategy tag as a provenance marker.
+
+    Raises :class:`~repro.errors.PlacementError` for an unknown default
+    device, a module pinned to an unknown device, or a declared service
+    hosted nowhere in the home.
+    """
+    opt = optimizer or OptimizerConfig()
+    _check_device(default_device, devices, "default device")
+    for module in config.modules:
+        if module.device is not None:
+            _check_device(module.device, devices, f"module {module.name!r} pin")
+        for service_name in module.services:
+            if service_name not in registry:
+                raise PlacementError(
+                    f"module {module.name!r} needs service {service_name!r},"
+                    " which is hosted nowhere in the home"
+                )
+    model = CostModel(
+        config, devices, registry, topology,
+        optimizer=opt, observed_module_s=observed_module_s,
+    )
+    fixed = {m.name: m.device for m in config.modules if m.device is not None}
+    free = [m.name for m in config.modules if m.device is None]
+    device_names = sorted(devices)
+
+    fallback = plan_colocated(config, devices, registry, default_device)
+    fallback_total = model.score(fallback.assignments).total
+    best_assignment = dict(fallback.assignments)
+    best_total = fallback_total
+
+    if free and len(device_names) ** len(free) <= opt.max_candidates:
+        for choice in itertools.product(device_names, repeat=len(free)):
+            assignments = dict(fixed)
+            assignments.update(zip(free, choice))
+            total = model.score(assignments).total
+            if total < best_total - 1e-9:
+                best_total = total
+                best_assignment = assignments
+    elif free:
+        rng = random.Random(opt.seed)
+        starts = [
+            dict(fallback.assignments),
+            dict(plan_single_host(config, devices, default_device).assignments),
+        ]
+        for _ in range(opt.restarts):
+            start = dict(fixed)
+            start.update({name: rng.choice(device_names) for name in free})
+            starts.append(start)
+        for start in starts:
+            assignments, total = _local_search(model, start, free, device_names)
+            if total < best_total - 1e-9:
+                best_total = total
+                best_assignment = assignments
+
+    if best_total < fallback_total - 1e-9:
+        return PlacementPlan(
+            pipeline=config.name, strategy=OPTIMIZED,
+            assignments=best_assignment,
+        )
+    return fallback
+
+
+def _local_search(
+    model: CostModel,
+    start: dict[str, str],
+    free: list[str],
+    device_names: list[str],
+) -> tuple[dict[str, str], float]:
+    """Greedy first-improvement: move one free module at a time while it
+    strictly lowers the score."""
+    assignments = dict(start)
+    current = model.score(assignments).total
+    improved = True
+    while improved:
+        improved = False
+        for name in free:
+            original = assignments[name]
+            for candidate in device_names:
+                if candidate == original:
+                    continue
+                assignments[name] = candidate
+                total = model.score(assignments).total
+                if total < current - 1e-9:
+                    current = total
+                    original = candidate
+                    improved = True
+                else:
+                    assignments[name] = original
+    return assignments, current
+
+
+# -- online re-placement -------------------------------------------------------
+
+def observed_module_seconds(
+    pipeline: "Pipeline", tracer=None, window: int = 50
+) -> dict[str, float]:
+    """Live per-module handler seconds for calibration.
+
+    With a tracer, the mean of the last *window* ``module.<name>`` compute
+    spans for this pipeline (the same spans critical-path analysis walks);
+    otherwise, :meth:`MetricsCollector.recent_stage_mean
+    <repro.metrics.collector.MetricsCollector.recent_stage_mean>` for any
+    stage that shares a module's name.
+    """
+    observed: dict[str, float] = {}
+    module_names = set(pipeline.config.module_names())
+    if tracer is not None:
+        prefix = f"{pipeline.config.name}/"
+        samples: dict[str, list[float]] = {}
+        for span in tracer.spans:
+            if not span.trace_id.startswith(prefix):
+                continue
+            if not span.name.startswith("module."):
+                continue
+            name = span.name.removeprefix("module.")
+            if name in module_names:
+                samples.setdefault(name, []).append(span.duration)
+        for name, values in samples.items():
+            tail = values[-window:]
+            observed[name] = sum(tail) / len(tail)
+        return observed
+    for name in module_names:
+        mean = pipeline.metrics.recent_stage_mean(name, window)
+        if mean is not None:
+            observed[name] = mean
+    return observed
+
+
+@dataclass(slots=True)
+class ReplanEvent:
+    """Record of one online re-placement decision that migrated modules."""
+
+    at: float
+    pipeline: str
+    #: module -> (from_device, to_device)
+    moves: dict[str, tuple[str, str]] = field(default_factory=dict)
+    predicted_before_s: float = 0.0
+    predicted_after_s: float = 0.0
+    observed_mean_s: float = 0.0
+
+
+class OnlineOptimizer:
+    """Periodically re-places watched pipelines from live measurements.
+
+    Every ``replan_interval_s`` it rebuilds a :class:`CostModel` restricted
+    to *up* devices, calibrated with observed per-module latencies (trace
+    spans when tracing is on, metrics stages otherwise), asks
+    :func:`plan_optimized` for a target placement, and — when the predicted
+    improvement clears ``replan_threshold_frac``, or the current placement
+    is stranded on a down device — applies the difference through
+    :meth:`Deployer.migrate <repro.pipeline.deployer.Deployer.migrate>`.
+    """
+
+    def __init__(self, home: "VideoPipe", config: OptimizerConfig | None = None) -> None:
+        self.home = home
+        self.config = config or OptimizerConfig()
+        self.events: list[ReplanEvent] = []
+        self._pipelines: dict[str, "Pipeline"] = {}
+        self._running = False
+        self._proc = None
+
+    def watch(self, pipeline: "Pipeline") -> None:
+        """Add a pipeline to the replan loop (idempotent)."""
+        self._pipelines.setdefault(pipeline.config.name, pipeline)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._proc = self.home.kernel.process(self._loop(), name="optimizer")
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._proc is not None and self._proc.alive:
+            self._proc.interrupt("optimizer stopped")
+        self._proc = None
+
+    def _loop(self):
+        try:
+            while self._running:
+                yield self.config.replan_interval_s
+                for pipeline in list(self._pipelines.values()):
+                    self._consider(pipeline)
+        except Interrupt:
+            return
+
+    def _consider(self, pipeline: "Pipeline") -> None:
+        home = self.home
+        live = {name: dev for name, dev in home.devices.items() if dev.up}
+        if not live or home.deployer is None:
+            return
+        current = pipeline.placement.assignments
+        observed: dict[str, tuple[float, str]] = {}
+        for name, seconds in observed_module_seconds(
+            pipeline, home.tracer
+        ).items():
+            device = current.get(name)
+            if device is not None:
+                observed[name] = (seconds, device)
+        source_device = current.get(pipeline.config.source_module)
+        default = source_device if source_device in live else sorted(live)[0]
+        try:
+            target = plan_optimized(
+                pipeline.config, live, home.registry, home.topology, default,
+                optimizer=self.config, observed_module_s=observed or None,
+            )
+        except PlacementError:
+            return  # e.g. a pin or every host of a service is down right now
+        moves = {
+            name: (current[name], device)
+            for name, device in target.assignments.items()
+            if current.get(name) != device
+            and pipeline.config.module(name).device is None
+        }
+        if not moves:
+            return
+        model = CostModel(
+            pipeline.config, live, home.registry, home.topology,
+            optimizer=self.config, observed_module_s=observed or None,
+        )
+        stranded = any(device not in live for device in current.values())
+        before = float("inf") if stranded else model.score(current).total
+        after = model.score(target.assignments).total
+        if not stranded:
+            if before <= 0:
+                return
+            if (before - after) / before < self.config.replan_threshold_frac:
+                return
+        for name in sorted(moves):
+            home.deployer.migrate(pipeline, name, moves[name][1])
+        pipeline.metrics.increment("replans")
+        self.events.append(ReplanEvent(
+            at=home.now,
+            pipeline=pipeline.config.name,
+            moves=moves,
+            predicted_before_s=before,
+            predicted_after_s=after,
+            observed_mean_s=self._observed_mean_s(pipeline),
+        ))
+
+    def _observed_mean_s(self, pipeline: "Pipeline") -> float:
+        if self.home.tracer is not None:
+            from ..trace.critical_path import critical_path
+
+            report = critical_path(
+                self.home.tracer, pipeline=pipeline.config.name
+            )
+            if report.frame_count:
+                return report.mean_total_ms() / 1e3
+        return pipeline.metrics.total_latency_summary().mean

@@ -174,7 +174,7 @@ class ModuleContext:
         """Send a payload to another module (ownership of refs moves)."""
         return self._runtime.send_to_module(
             self.module_name, target_module, payload,
-            self._trace_headers(headers), kind=DATA
+            self._trace_headers(headers), kind=DATA, wiring=self.wiring
         )
 
     def call_next(
@@ -193,7 +193,7 @@ class ModuleContext:
         return [
             self._runtime.send_to_module(
                 self.module_name, target, payload,
-                self._trace_headers(headers), kind=DATA
+                self._trace_headers(headers), kind=DATA, wiring=self.wiring
             )
             for target in targets
         ]
@@ -210,7 +210,8 @@ class ModuleContext:
             return None
         self.metrics.increment("ready_signals")
         return self._runtime.send_to_module(
-            self.module_name, source, None, {}, kind=READY_SIGNAL
+            self.module_name, source, None, {}, kind=READY_SIGNAL,
+            wiring=self.wiring,
         )
 
     # -- frame references ---------------------------------------------------------------

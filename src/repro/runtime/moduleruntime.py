@@ -16,7 +16,11 @@ from typing import TYPE_CHECKING, Any
 
 from ..devices.device import Device
 from ..errors import DeploymentError
-from ..frames.payloads import decode_frames_from_wire, encode_refs_for_wire
+from ..frames.payloads import (
+    decode_frames_from_wire,
+    encode_refs_for_wire,
+    release_refs,
+)
 from ..net.address import Address
 from ..net.message import H_TRACE, KIND_SIGNAL, Message
 from ..net.transport import Transport
@@ -155,18 +159,37 @@ class ModuleRuntime:
         payload: Any,
         headers: dict[str, Any],
         kind: str = DATA,
+        wiring: "PipelineWiring | None" = None,
     ) -> Signal:
         """Route a payload to a module anywhere in the pipeline.
 
         Same-device traffic keeps frame refs as refs (the zero-copy path);
         cross-device traffic pays JPEG encode on this device's CPU and the
         network transfer, with refs rematerialized on arrival.
+
+        Callers that already hold the pipeline wiring pass it explicitly —
+        a migrated-away module's last in-flight handler must still be able
+        to forward its frame even though this runtime no longer lists the
+        module as deployed.
         """
-        wiring = self._wiring_of(source_module)
+        if wiring is None:
+            wiring = self._wiring_of(source_module)
         target_address = wiring.address_of(target_module)
         source_address = wiring.address_of(source_module)
         done = self.kernel.signal(name=f"send:{source_module}->{target_module}")
-        if target_address.device == self.device.name:
+        local = target_address.device == self.device.name
+        if kind == DATA:
+            # a data message that dies in flight (listener unbound during a
+            # migration, destination crashed) takes its frame with it: the
+            # local path still owns the payload's refs, the remote path
+            # released them at encode — either way the frame must be
+            # accounted as dropped, like a drained mailbox
+            done.wait(
+                lambda _v, exc: self._dead_letter(
+                    source_module, wiring, payload, release_local_refs=local
+                ) if exc is not None else None
+            )
+        if local:
             message = self._build_message(
                 kind, payload, source_address, target_address, headers
             )
@@ -203,6 +226,25 @@ class ModuleRuntime:
             done.fail(exc)
             return
         done.succeed(self.kernel.now)
+
+    def _dead_letter(
+        self,
+        source_module: str,
+        wiring: "PipelineWiring",
+        payload: Any,
+        release_local_refs: bool,
+    ) -> None:
+        if release_local_refs:
+            release_refs(payload, self.device.frame_store)
+        wiring.metrics.increment("dead_letters")
+        if isinstance(payload, dict) and "frame_id" in payload:
+            source = self._deployed.get(source_module)
+            if source is not None:
+                source.ctx.frame_dropped(payload["frame_id"])
+            else:
+                # the sender itself was undeployed meanwhile (its handler
+                # outlived the migration); account on the shared collector
+                wiring.metrics.frame_dropped(payload["frame_id"], self.kernel.now)
 
     def _build_message(
         self,
@@ -271,6 +313,14 @@ class ModuleRuntime:
         while deployed.active:
             event = yield deployed.mailbox.get()
             if not deployed.active:
+                # undeployed while this get was in flight: the event already
+                # left the mailbox (the migration drain missed it), so its
+                # frame leaves the pipeline here
+                payload = event.payload
+                release_refs(payload, self.device.frame_store)
+                if isinstance(payload, dict) and "frame_id" in payload:
+                    deployed.ctx.metrics.increment("dead_letters")
+                    deployed.ctx.frame_dropped(payload["frame_id"])
                 break
             # land any encoded frames into the local store (decode cost)
             payload, decode_cost, _ = decode_frames_from_wire(

@@ -6,20 +6,29 @@ this module provides the selection policies:
 
 * ``first`` — registration order (the naive legacy behaviour);
 * ``fastest`` — minimum expected service time on the host's device;
-* ``least_loaded`` — fewest queued requests, ties broken by ``fastest``.
+* ``least_loaded`` — fewest queued requests, ties broken by ``fastest``;
+* ``cost_aware`` — minimum expected service time *plus* the round-trip
+  network cost from the caller, the same placement-cost view the
+  :mod:`optimizer <repro.pipeline.optimizer>` scores candidates with. A
+  nearby mid-speed replica beats a fast one across a congested link.
 """
 
 from __future__ import annotations
 
-from ..errors import ServiceError
+from ..errors import NetworkError, ServiceError
 from .host import ServiceHost
 from .registry import ServiceRegistry
 
 FIRST = "first"
 FASTEST = "fastest"
 LEAST_LOADED = "least_loaded"
+COST_AWARE = "cost_aware"
 
-POLICIES = (FIRST, FASTEST, LEAST_LOADED)
+POLICIES = (FIRST, FASTEST, LEAST_LOADED, COST_AWARE)
+
+#: Assumed request payload for the cost-aware policy's network estimate (a
+#: quality-80 VGA JPEG, matching the placement cost model's edge estimate).
+DEFAULT_PAYLOAD_BYTES = 42_000
 
 
 def expected_service_time(
@@ -38,6 +47,29 @@ def expected_service_time(
     )
 
 
+def expected_call_cost(
+    host: ServiceHost,
+    caller_device,
+    topology,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+) -> float:
+    """Expected seconds for one call on *host* as seen from the caller:
+    service time plus the two-way network transfer (zero when co-located).
+    An unresolvable route (mid-partition) is charged a pessimistic 0.5 s
+    rather than raised — selection should route *around* the partition."""
+    cost = expected_service_time(host)
+    if host.device.name == caller_device.name:
+        return cost
+    try:
+        cost += topology.expected_delay(
+            caller_device.name, host.device.name, payload_bytes
+        )
+        cost += topology.expected_delay(host.device.name, caller_device.name, 512)
+    except NetworkError:
+        cost += 0.5
+    return cost
+
+
 def host_is_live(host: ServiceHost) -> bool:
     """A host is dialable only while both it and its device are up."""
     return host.up and host.device.up
@@ -48,6 +80,8 @@ def select_host(
     service_name: str,
     policy: str = FASTEST,
     exclude_devices: frozenset[str] | set[str] | tuple[str, ...] = (),
+    caller_device=None,
+    topology=None,
 ) -> ServiceHost:
     """Choose a *live* host of *service_name* under *policy*.
 
@@ -56,6 +90,9 @@ def select_host(
     lands on a surviving replica. ``exclude_devices`` lets that caller also
     skip devices it already tried. Deterministic: ties break by device name,
     so placement and simulation stay reproducible.
+
+    The ``cost_aware`` policy additionally needs *caller_device* and
+    *topology* to price the network leg of each candidate.
     """
     registered = registry.hosts_of(service_name)
     if not registered:
@@ -78,5 +115,16 @@ def select_host(
             hosts,
             key=lambda h: (h.queue_length + h.busy_workers - h.replicas,
                            expected_service_time(h), h.device.name),
+        )
+    if policy == COST_AWARE:
+        if caller_device is None or topology is None:
+            raise ServiceError(
+                "cost_aware balancing needs caller_device and topology"
+            )
+        return min(
+            hosts,
+            key=lambda h: (
+                expected_call_cost(h, caller_device, topology), h.device.name
+            ),
         )
     raise ServiceError(f"unknown balancing policy {policy!r}; known: {POLICIES}")

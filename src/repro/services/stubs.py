@@ -224,6 +224,8 @@ class RemoteServiceStub(ServiceStub):
             return select_host(
                 self.registry, self.service_name,
                 policy=self.balancing, exclude_devices=tried,
+                caller_device=self.caller_device,
+                topology=self.transport.topology,
             )
         except ServiceError:
             return None
@@ -254,7 +256,10 @@ def make_stub(
         host = registry.host_on(service_name, caller_device.name)
         if host is not None and host.up:
             return LocalServiceStub(host)
-    host = select_host(registry, service_name, policy=balancing)
+    host = select_host(
+        registry, service_name, policy=balancing,
+        caller_device=caller_device, topology=transport.topology,
+    )
     if host.device.name == caller_device.name and prefer_local:
         return LocalServiceStub(host)
     return RemoteServiceStub(

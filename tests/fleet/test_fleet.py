@@ -1,0 +1,99 @@
+"""Fleet harness basics: shape, determinism, validation, graceful fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import Fleet, FleetConfig, run_fleet
+from repro.pipeline import COLOCATED, OPTIMIZED, SINGLE_HOST
+
+
+def _small(strategy=COLOCATED, **overrides) -> FleetConfig:
+    defaults = dict(homes=5, seed=7, strategy=strategy,
+                    duration_s=1.5, tail_s=1.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def test_fleet_report_shape():
+    report = run_fleet(_small())
+    assert report.homes == 5
+    assert len(report.results) == 5
+    assert report.completed > 0
+    assert report.dropped == 0
+    assert report.drop_rate == 0.0
+    assert report.latency.mean > 0
+    assert report.latency.p50 <= report.latency.p99
+    for result in report.results:
+        assert result.completed == len(result.latencies)
+        assert result.completed == len(result.sink_frame_ids)
+        # §2.3 credit protocol: one frame in flight, so sink ids are
+        # strictly increasing
+        assert result.sink_frame_ids == sorted(set(result.sink_frame_ids))
+        assert len(result.devices) >= 2
+    as_dict = report.as_dict()
+    assert as_dict["homes"] == 5
+    assert as_dict["latency"]["mean"] == report.latency.mean
+    assert report.strategy in report.describe()
+
+
+def test_fleet_homes_are_heterogeneous():
+    fleet = Fleet(_small(homes=8))
+    mixes = {tuple(sorted(home.devices)) for home in fleet.homes}
+    assert len(mixes) > 1
+    for home in fleet.homes:
+        assert "phone" in home.devices
+
+
+def test_fleet_is_deterministic_under_seed():
+    first = run_fleet(_small(strategy=OPTIMIZED))
+    second = run_fleet(_small(strategy=OPTIMIZED))
+    assert first.as_dict() == second.as_dict()
+    for a, b in zip(first.results, second.results):
+        assert a.latencies == b.latencies
+        assert a.sink_frame_ids == b.sink_frame_ids
+        assert a.strategy == b.strategy
+
+
+def test_fleet_seed_changes_outcome():
+    base = run_fleet(_small())
+    other = run_fleet(_small(seed=8))
+    assert base.as_dict() != other.as_dict()
+
+
+def test_optimized_fleet_falls_back_gracefully():
+    report = run_fleet(_small(strategy=OPTIMIZED))
+    # per-home plans are either genuinely optimized or the co-located
+    # fallback — never anything else, and never an error
+    assert {r.strategy for r in report.results} <= {OPTIMIZED, COLOCATED}
+
+
+def test_single_host_is_slower_than_colocated():
+    single = run_fleet(_small(strategy=SINGLE_HOST, duration_s=2.0))
+    colocated = run_fleet(_small(strategy=COLOCATED, duration_s=2.0))
+    assert colocated.latency.mean < single.latency.mean
+
+
+def test_fleet_config_validation():
+    with pytest.raises(ConfigError):
+        FleetConfig(homes=0)
+    with pytest.raises(ConfigError):
+        FleetConfig(strategy="bogus")
+    with pytest.raises(ConfigError):
+        FleetConfig(fps_choices=())
+    with pytest.raises(ConfigError):
+        FleetConfig(fps_choices=(4.0, -1.0))
+    with pytest.raises(ConfigError):
+        FleetConfig(duration_s=0.0)
+    with pytest.raises(ConfigError):
+        FleetConfig(tail_s=-1.0)
+
+
+def test_fleet_shares_one_kernel():
+    fleet = Fleet(_small(homes=3))
+    kernels = {home.kernel for home in fleet.homes}
+    assert kernels == {fleet.kernel}
+    fleet.run()
+    report = fleet.report()
+    assert report.completed > 0

@@ -1,0 +1,48 @@
+"""Frozen placement inputs: every ``examples/`` home + its pipelines.
+
+Reuses :data:`repro.audit.scenarios.EXAMPLE_SCENARIOS` — each scenario
+builds the example's exact device/service topology and deploys its
+pipeline(s) — then recomputes the three placement plans (co-located,
+single-host, optimized) for every deployed pipeline's config. The golden
+test freezes the resulting assignments; a placement-affecting change must
+show up as a reviewed golden diff, never as silent drift.
+"""
+
+from __future__ import annotations
+
+from repro.audit.scenarios import EXAMPLE_SCENARIOS
+from repro.pipeline import COLOCATED, OPTIMIZED, SINGLE_HOST
+
+#: Strategies frozen in the goldens. ``cost-optimized`` is excluded: its
+#: latency model depends on live calibration inputs by design.
+GOLDEN_STRATEGIES = (COLOCATED, SINGLE_HOST, OPTIMIZED)
+
+#: The scenario seed. Matches the scenarios' cached model trainers so the
+#: expensive training happens once per process across the whole suite.
+SEED = 1
+
+EXAMPLE_NAMES = tuple(
+    filename.removesuffix(".py") for filename in EXAMPLE_SCENARIOS
+)
+
+
+def example_placements(example: str) -> dict:
+    """All strategies' assignments for every pipeline of one example.
+
+    Returns ``{pipeline: {strategy: {"strategy": ..., "assignments": ...}}}``
+    — ``strategy`` is the *plan's* tag, so an ``optimized`` entry whose tag
+    reads ``colocated`` records that the search fell back to the heuristic.
+    """
+    scenario = EXAMPLE_SCENARIOS[f"{example}.py"]
+    home, _run_fn = scenario(seed=SEED)
+    placements: dict[str, dict] = {}
+    for pipeline in home.pipelines:
+        per_strategy = {}
+        for strategy in GOLDEN_STRATEGIES:
+            plan = home.plan(pipeline.config, strategy=strategy)
+            per_strategy[strategy] = {
+                "strategy": plan.strategy,
+                "assignments": dict(sorted(plan.assignments.items())),
+            }
+        placements[pipeline.name] = per_strategy
+    return placements

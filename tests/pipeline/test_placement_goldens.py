@@ -1,0 +1,93 @@
+"""Golden placement tests: frozen assignments for every example home.
+
+Each ``tests/pipeline/goldens/<example>.json`` holds the co-located,
+single-host and optimized assignments for that example's pipelines. Any
+drift fails with a per-module diff; regenerate deliberately with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/pipeline/test_placement_goldens.py
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from .example_homes import EXAMPLE_NAMES, example_placements
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+
+def _diff(golden: dict, actual: dict) -> list[str]:
+    """Human-readable per-module drift between two placement mappings."""
+    lines: list[str] = []
+    for pipeline in sorted(set(golden) | set(actual)):
+        if pipeline not in golden:
+            lines.append(f"  pipeline {pipeline!r}: new (not in golden)")
+            continue
+        if pipeline not in actual:
+            lines.append(f"  pipeline {pipeline!r}: missing (in golden only)")
+            continue
+        g_strats, a_strats = golden[pipeline], actual[pipeline]
+        for strategy in sorted(set(g_strats) | set(a_strats)):
+            g = g_strats.get(strategy)
+            a = a_strats.get(strategy)
+            if g is None or a is None:
+                lines.append(
+                    f"  {pipeline}/{strategy}: "
+                    + ("new strategy" if g is None else "strategy removed")
+                )
+                continue
+            if g["strategy"] != a["strategy"]:
+                lines.append(
+                    f"  {pipeline}/{strategy}: plan tag"
+                    f" {g['strategy']!r} -> {a['strategy']!r}"
+                )
+            g_assign, a_assign = g["assignments"], a["assignments"]
+            for module in sorted(set(g_assign) | set(a_assign)):
+                was = g_assign.get(module, "<unplaced>")
+                now = a_assign.get(module, "<unplaced>")
+                if was != now:
+                    lines.append(
+                        f"  {pipeline}/{strategy}: {module}: {was} -> {now}"
+                    )
+    return lines
+
+
+@pytest.mark.parametrize("example", EXAMPLE_NAMES)
+def test_example_placements_match_golden(example):
+    actual = example_placements(example)
+    path = GOLDEN_DIR / f"{example}.json"
+    if UPDATE or not path.exists():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        if not UPDATE:
+            pytest.fail(
+                f"golden {path.name} did not exist; wrote it — review and"
+                " commit, then re-run"
+            )
+        return
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    if golden != actual:
+        drift = "\n".join(_diff(golden, actual))
+        pytest.fail(
+            f"placement drift vs {path.name} (set REPRO_UPDATE_GOLDENS=1 to"
+            f" regenerate deliberately):\n{drift}"
+        )
+
+
+def test_goldens_cover_every_example():
+    """A new example must get a golden (mirrors the determinism coverage
+    test): stale or missing files fail here rather than silently skipping."""
+    expected = {f"{name}.json" for name in EXAMPLE_NAMES}
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == expected, (
+        f"missing: {sorted(expected - on_disk)},"
+        f" stale: {sorted(on_disk - expected)}"
+    )

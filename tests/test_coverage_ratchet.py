@@ -1,0 +1,67 @@
+"""The coverage ratchet's gate logic (the CI job runs the real thing)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_ratchet",
+    Path(__file__).parent.parent / "tools" / "coverage_ratchet.py",
+)
+ratchet = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(ratchet)
+
+
+def _files(tmp_path, measured: float, baseline: float, tolerance=0.5):
+    report = tmp_path / "coverage.json"
+    report.write_text(json.dumps(
+        {"totals": {"percent_covered": measured}}
+    ))
+    base = tmp_path / "baseline.json"
+    base.write_text(json.dumps(
+        {"percent_covered": baseline, "tolerance_pts": tolerance,
+         "seeded": True}
+    ))
+    return report, base
+
+
+def test_pass_within_tolerance(tmp_path, capsys):
+    report, base = _files(tmp_path, measured=74.8, baseline=75.0)
+    assert ratchet.main([str(report), "--baseline", str(base)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_fail_on_drop_beyond_tolerance(tmp_path, capsys):
+    report, base = _files(tmp_path, measured=74.4, baseline=75.0)
+    assert ratchet.main([str(report), "--baseline", str(base)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_hints_ratchet_up_when_above(tmp_path, capsys):
+    report, base = _files(tmp_path, measured=80.0, baseline=75.0)
+    assert ratchet.main([str(report), "--baseline", str(base)]) == 0
+    assert "ratchet it up" in capsys.readouterr().out
+
+
+def test_update_rewrites_baseline_and_clears_seeded(tmp_path):
+    report, base = _files(tmp_path, measured=80.17, baseline=75.0)
+    assert ratchet.main([str(report), "--baseline", str(base),
+                         "--update"]) == 0
+    updated = json.loads(base.read_text())
+    assert updated == {"percent_covered": 80.1, "tolerance_pts": 0.5,
+                       "seeded": False}
+
+
+def test_malformed_report_exits(tmp_path):
+    report = tmp_path / "coverage.json"
+    report.write_text(json.dumps({"totals": {}}))
+    with pytest.raises(SystemExit):
+        ratchet.read_measured(report)
+
+
+def test_committed_baseline_is_valid():
+    baseline = json.loads(ratchet.BASELINE_PATH.read_text())
+    assert 0.0 < baseline["percent_covered"] <= 100.0
+    assert baseline["tolerance_pts"] == 0.5

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when coverage drops, tighten when it rises.
+
+Usage (CI runs exactly this)::
+
+    python -m pytest tests --cov=repro --cov-branch --cov-report=json:coverage.json -q
+    python tools/coverage_ratchet.py coverage.json
+
+The committed baseline lives in ``tools/coverage_baseline.json``. The check
+fails when the measured total (line+branch, coverage.py's
+``percent_covered``) falls more than ``tolerance_pts`` (default 0.5) below
+the baseline. When the measured total beats the baseline by more than the
+tolerance, the check passes but prints the ratchet hint; run with
+``--update`` to rewrite the baseline (then commit the diff — raising the
+bar is a reviewed change, like a golden).
+
+The baseline's ``seeded`` flag marks a value that was set conservatively
+rather than measured (the first commit predates a local coverage
+toolchain). ``--update`` clears it with the first real CI measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "coverage_baseline.json"
+
+
+def read_measured(report_path: Path) -> float:
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"coverage report {report_path} not found — run pytest with"
+                 " --cov-report=json first")
+    try:
+        return float(report["totals"]["percent_covered"])
+    except (KeyError, TypeError, ValueError) as exc:
+        sys.exit(f"malformed coverage report {report_path}: {exc!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path,
+                        help="coverage.py JSON report (pytest --cov-report=json:...)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline to the measured value")
+    args = parser.parse_args(argv)
+
+    measured = read_measured(args.report)
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    floor = baseline["percent_covered"] - baseline.get("tolerance_pts", 0.5)
+
+    print(f"coverage: measured {measured:.2f}%,"
+          f" baseline {baseline['percent_covered']:.2f}%"
+          f" (floor {floor:.2f}%"
+          f"{', seeded' if baseline.get('seeded') else ''})")
+
+    if args.update:
+        # floor to 0.1 pt so re-measured noise never makes the bar flaky
+        new = {
+            "percent_covered": int(measured * 10) / 10,
+            "tolerance_pts": baseline.get("tolerance_pts", 0.5),
+            "seeded": False,
+        }
+        args.baseline.write_text(json.dumps(new, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"baseline updated to {new['percent_covered']:.1f}% — commit"
+              f" {args.baseline}")
+        return 0
+
+    if measured < floor:
+        print(f"FAIL: coverage dropped {baseline['percent_covered'] - measured:.2f} pts"
+              f" below the baseline (allowed: {baseline.get('tolerance_pts', 0.5)})."
+              " Add tests for the new/changed code, or — if the drop is a"
+              " deliberate trade — update the baseline in the same PR with"
+              " tools/coverage_ratchet.py --update and justify it in review.")
+        return 1
+    if measured > baseline["percent_covered"] + baseline.get("tolerance_pts", 0.5):
+        print("coverage beats the baseline — ratchet it up:"
+              f" python tools/coverage_ratchet.py {args.report} --update")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
