@@ -36,6 +36,7 @@ Quickstart::
 
 from .core import VideoPipe
 from .errors import (
+    AdmissionError,
     AuditError,
     ConfigError,
     DeploymentError,
@@ -61,10 +62,12 @@ from .pipeline import (
 )
 from .runtime import Module, ModuleContext, ModuleEvent, register_module
 from .services import Service, ServiceCallContext
+from .slo import SLO, SLOConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "AuditConfig",
     "AuditError",
     "ChaosInjector",
@@ -85,6 +88,8 @@ __all__ = [
     "PipelineConfig",
     "PlacementError",
     "ReproError",
+    "SLO",
+    "SLOConfig",
     "Service",
     "ServiceCallContext",
     "ServiceError",

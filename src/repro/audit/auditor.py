@@ -24,7 +24,15 @@ Invariants covered (see ``docs/AUDIT.md`` for the full statement of each):
 * **autoscaler pacing** — consecutive scaling decisions for one host are
   separated by the policy cooldown and stay inside
   ``[min_replicas, max_replicas]`` (the pre-fix overlapping-window bug
-  bursts replicas and trips this immediately).
+  bursts replicas and trips this immediately);
+* **SLO ladder monotonicity** per :class:`~repro.slo.controller
+  .SLOController` — every action moves the ladder depth by exactly one,
+  consecutive actions on one pipeline respect the hysteresis spacing (no
+  flapping), and restores pop the most recently applied rung (recovery in
+  exactly reverse order);
+* **admission conservation** — ``deploys_requested == deploys_deployed +
+  deploys_rejected + deploys_withdrawn + queued-now``: no deploy request
+  vanishes between admission control and the deployer.
 
 Auditing is *passive*: the auditor never schedules kernel events, never
 consumes randomness, and never touches message sizes, so an audited run is
@@ -49,6 +57,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..services.scaling import AutoScaler, ScalingEvent
     from ..sim.events import Event
     from ..sim.kernel import Kernel
+    from ..slo.controller import SLOController
+    from ..slo.ladder import LadderAction
+    from ..slo.spec import AdmissionDecision
 
 #: Tolerance for float time comparisons (kernel times are exact sums of
 #: exact delays, but cooldown arithmetic subtracts them).
@@ -72,7 +83,8 @@ class Violation:
         at: simulated time the violation was detected.
         invariant: which law broke (``frame-ref-conservation``,
             ``message-conservation``, ``kernel-hygiene``,
-            ``metrics-conservation``, ``autoscaler-pacing``, ``rpc-quiesce``).
+            ``metrics-conservation``, ``autoscaler-pacing``,
+            ``slo-ladder``, ``admission-conservation``, ``rpc-quiesce``).
         subject: the component involved (store device, transport class,
             collector name, service@device).
         detail: an actionable description — what was expected, what was
@@ -106,6 +118,19 @@ class _TransportState:
     base_delivered: int = 0
     base_failed: int = 0
     in_flight: dict[int, float] = field(default_factory=dict)  # msg_id -> sent at
+
+
+@dataclass(slots=True)
+class _SloState:
+    """The auditor's mirror of one SLO controller's ladder and admissions."""
+
+    #: pipeline -> time of the last ladder action (either direction).
+    last_action_at: dict[str, float] = field(default_factory=dict)
+    #: pipeline -> mirrored stack of applied step names.
+    stacks: dict[str, list[str]] = field(default_factory=dict)
+    #: counter baselines at watch time (a controller watched mid-run
+    #: starts conservation from its current totals).
+    base: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -156,6 +181,7 @@ class InvariantAuditor:
         self._transports: dict[int, tuple["Transport", _TransportState]] = {}
         self._metrics: dict[int, tuple["MetricsCollector", _MetricsState]] = {}
         self._scalers: dict[int, tuple["AutoScaler", dict]] = {}
+        self._slo: dict[int, tuple["SLOController", "_SloState"]] = {}
         self._rpc_clients: list["RpcClient"] = []
         self._last_exec_time: float | None = None
         self._kernel_attached = False
@@ -380,6 +406,145 @@ class InvariantAuditor:
                 f" {event.from_replicas} -> {event.to_replicas}",
             )
 
+    # -- slo ladder & admission --------------------------------------------------------
+    def watch_slo(self, controller: "SLOController") -> None:
+        """Check ladder monotonicity and admission conservation on
+        *controller*."""
+        if id(controller) in self._slo:
+            return
+        controller.auditor = self
+        state = _SloState()
+        counters = controller.metrics.counters()
+        for key in ("deploys_requested", "deploys_deployed",
+                    "deploys_rejected", "deploys_withdrawn"):
+            state.base[key] = counters.get(key, 0)
+        state.base["queued_now"] = len(controller.queued)
+        # enrollments that already carry applied rungs are mirrored as-is
+        for enrollment in controller.enrollments:
+            name = enrollment.pipeline.config.name
+            state.stacks[name] = enrollment.applied_steps()
+            if enrollment.last_action_at is not None:
+                state.last_action_at[name] = enrollment.last_action_at
+        self._slo[id(controller)] = (controller, state)
+
+    def on_slo_action(
+        self, controller: "SLOController", action: "LadderAction"
+    ) -> None:
+        entry = self._slo.get(id(controller))
+        if entry is None:
+            return
+        state = entry[1]
+        subject = f"slo/{action.pipeline}"
+        previous = state.last_action_at.get(action.pipeline)
+        hysteresis = controller.config.hysteresis_s
+        if previous is not None and action.at - previous < hysteresis - _EPS:
+            self.record(
+                "slo-ladder",
+                subject,
+                f"ladder actions at {previous:.3f}s and {action.at:.3f}s are"
+                f" {action.at - previous:.3f}s apart, inside the"
+                f" {hysteresis:.3f}s hysteresis — the controller is flapping",
+            )
+        state.last_action_at[action.pipeline] = action.at
+        expected_delta = 1 if action.direction == "degrade" else -1
+        if action.depth_after - action.depth_before != expected_delta:
+            self.record(
+                "slo-ladder",
+                subject,
+                f"{action.direction} moved ladder depth"
+                f" {action.depth_before} -> {action.depth_after}; every"
+                " action must move it by exactly one rung",
+            )
+        stack = state.stacks.setdefault(action.pipeline, [])
+        if len(stack) != action.depth_before:
+            self.record(
+                "slo-ladder",
+                subject,
+                f"action reports depth_before={action.depth_before} but the"
+                f" auditor mirrors {len(stack)} applied rung(s)",
+            )
+        if action.direction == "degrade":
+            stack.append(action.step)
+        elif stack:
+            top = stack.pop()
+            if top != action.step:
+                self.record(
+                    "slo-ladder",
+                    subject,
+                    f"restore reverted {action.step!r} while the most"
+                    f" recently applied rung is {top!r} — recovery must"
+                    " retrace the ladder in reverse order",
+                )
+        else:
+            self.record(
+                "slo-ladder",
+                subject,
+                f"restore of {action.step!r} with no applied rung mirrored",
+            )
+
+    def on_admission(
+        self, controller: "SLOController", decision: "AdmissionDecision"
+    ) -> None:
+        entry = self._slo.get(id(controller))
+        if entry is None:
+            return
+        subject = f"slo/{decision.pipeline}"
+        if decision.action not in ("admitted", "rejected", "queued"):
+            self.record(
+                "admission-conservation",
+                subject,
+                f"admission decision with unknown action {decision.action!r}",
+            )
+        elif (
+            decision.action != "admitted"
+            and decision.worst_utilization <= decision.threshold + _EPS
+        ):
+            self.record(
+                "admission-conservation",
+                subject,
+                f"deploy {decision.action} with predicted utilization"
+                f" {decision.worst_utilization:.3f} within threshold"
+                f" {decision.threshold:.3f}",
+            )
+
+    def _check_slo(self, controller: "SLOController", state: _SloState) -> None:
+        counters = controller.metrics.counters()
+        requested = counters.get("deploys_requested", 0) - state.base["deploys_requested"]
+        deployed = counters.get("deploys_deployed", 0) - state.base["deploys_deployed"]
+        rejected = counters.get("deploys_rejected", 0) - state.base["deploys_rejected"]
+        withdrawn = counters.get("deploys_withdrawn", 0) - state.base["deploys_withdrawn"]
+        queued_now = len(controller.queued) - state.base["queued_now"]
+        if requested != deployed + rejected + withdrawn + queued_now:
+            self.record(
+                "admission-conservation",
+                "slo/controller",
+                f"requested ({requested}) != deployed ({deployed}) +"
+                f" rejected ({rejected}) + withdrawn ({withdrawn}) +"
+                f" queued-now ({queued_now}) —"
+                f" {requested - deployed - rejected - withdrawn - queued_now}"
+                " deploy request(s) vanished between admission and the"
+                " deployer",
+            )
+        for enrollment in controller.enrollments:
+            name = enrollment.pipeline.config.name
+            depth = enrollment.depth
+            if not 0 <= depth <= len(enrollment.ladder):
+                self.record(
+                    "slo-ladder",
+                    f"slo/{name}",
+                    f"ladder depth {depth} outside"
+                    f" [0, {len(enrollment.ladder)}]",
+                )
+            mirrored = state.stacks.get(name, [])
+            if enrollment.applied_steps() != mirrored:
+                self.record(
+                    "slo-ladder",
+                    f"slo/{name}",
+                    f"applied rungs {enrollment.applied_steps()} disagree"
+                    f" with the auditor's mirror {mirrored} — a rung was"
+                    " applied or reverted without a recorded action",
+                )
+
     # -- rpc quiesce -----------------------------------------------------------------
     def watch_rpc(self, client: "RpcClient") -> None:
         """At quiesce, *client* must have no orphaned pending requests."""
@@ -398,6 +563,8 @@ class InvariantAuditor:
             self._check_transport(transport, state)
         for collector, state in self._metrics.values():
             self._check_metrics(collector, state)
+        for controller, state in self._slo.values():
+            self._check_slo(controller, state)
         return self.violations[start:]
 
     def check_quiesce(self) -> list[Violation]:

@@ -23,7 +23,7 @@ from ..audit.auditor import InvariantAuditor, Violation
 from ..devices.catalog import make_spec
 from ..devices.device import Device
 from ..devices.spec import DeviceSpec
-from ..errors import ConfigError, DeviceError
+from ..errors import AdmissionError, ConfigError, DeviceError
 from ..faults.injector import ChaosInjector
 from ..faults.plan import FaultPlan
 from ..monitor.failure_detector import (
@@ -41,6 +41,7 @@ from ..monitor.probes import (
     device_probe,
     pipeline_probe,
     service_probe,
+    slo_probe,
     tracing_probe,
 )
 from ..net.broker import BrokeredTransport
@@ -77,6 +78,8 @@ from ..services.registry import ServiceRegistry
 from ..services.scaling import AutoScaler, ScalingPolicy
 from ..sim.kernel import Kernel, RealtimeKernel
 from ..sim.rng import RngStreams
+from ..slo.controller import SLOController
+from ..slo.spec import QUEUED, REJECTED, SLO, SLOConfig
 from ..trace.recorder import TraceRecorder
 
 
@@ -120,6 +123,9 @@ class VideoPipe:
         self.optimizer: OnlineOptimizer | None = None
         self.tracer: TraceRecorder | None = None
         self.auditor: InvariantAuditor | None = None
+        self.slo: SLOController | None = None
+        #: SLOs declared at deploy time before enable_slo() was called
+        self._pending_slos: dict[str, SLO] = {}
         self.pipelines: list[Pipeline] = []
         if os.environ.get("REPRO_AUDIT"):
             # opt-in via environment (like REPRO_BENCH_FAST): audit every
@@ -358,6 +364,8 @@ class VideoPipe:
                 self.auditor.watch_metrics(pipeline.metrics)
             if self.autoscaler is not None:
                 self.auditor.watch_autoscaler(self.autoscaler)
+            if self.slo is not None:
+                self.auditor.watch_slo(self.slo)
             if self.monitor is not None:
                 self.monitor.add_probe("audit", audit_probe(self.auditor))
         return self.auditor
@@ -400,6 +408,8 @@ class VideoPipe:
                 self.monitor.add_probe("tracing", tracing_probe(self.tracer))
             if self.auditor is not None:
                 self.monitor.add_probe("audit", audit_probe(self.auditor))
+            if self.slo is not None:
+                self.monitor.add_probe("slo", slo_probe(self.slo))
             self.monitor.start()
         return self.monitor
 
@@ -435,6 +445,44 @@ class VideoPipe:
                 self.auditor.watch_autoscaler(self.autoscaler)
             self.autoscaler.start()
         return self.autoscaler
+
+    def enable_slo(
+        self,
+        config: SLOConfig | None = None,
+        default_slo: SLO | None = None,
+    ) -> SLOController:
+        """Turn on the closed-loop SLO guardian (``docs/SLO.md``).
+
+        A :class:`~repro.slo.controller.SLOController` periodically
+        classifies every enrolled pipeline against its
+        :class:`~repro.slo.spec.SLO` and actuates the reversible
+        degradation ladder when it is overloaded; deploys through
+        :meth:`deploy_pipeline` are priced by admission control first.
+        Existing pipelines that declared an SLO at deploy time are
+        enrolled immediately; *default_slo*, when given, enrolls every
+        pipeline that declared none. Idempotent: a second call returns
+        the existing controller.
+        """
+        if self.slo is None:
+            self.slo = SLOController(self, config, default_slo)
+            for pipeline in self.pipelines:
+                self.slo.watch(
+                    pipeline, self._pending_slos.pop(pipeline.config.name, None)
+                )
+            if self.auditor is not None:
+                self.auditor.watch_slo(self.slo)
+            if self.monitor is not None:
+                self.monitor.add_probe("slo", slo_probe(self.slo))
+            self.slo.start()
+        return self.slo
+
+    def slo_status(self) -> dict:
+        """Live SLO report: per-pipeline state, ladder depth and
+        attainment, plus the admission counters. Requires
+        :meth:`enable_slo`."""
+        if self.slo is None:
+            raise ConfigError("call enable_slo() before slo_status()")
+        return self.slo.status()
 
     # -- faults & recovery --------------------------------------------------------
     def crash_device(self, name: str) -> None:
@@ -557,20 +605,60 @@ class VideoPipe:
         module_instances: dict[str, Module] | None = None,
         prefer_local_services: bool = True,
         placement: PlacementPlan | None = None,
-    ) -> Pipeline:
-        """Place and deploy a pipeline; returns its handle."""
+        slo: SLO | None = None,
+        admission: str = "check",
+    ) -> Pipeline | None:
+        """Place and deploy a pipeline; returns its handle.
+
+        With :meth:`enable_slo` active, the deploy is priced by admission
+        control first. *admission* selects what happens when the predicted
+        cost would violate the threshold: ``"check"`` (default) raises
+        :class:`~repro.errors.AdmissionError` carrying the typed
+        :class:`~repro.slo.spec.AdmissionDecision`; ``"queue"`` parks the
+        deploy until capacity returns (returns ``None`` — the SLO
+        controller deploys it later); ``"bypass"`` skips the check. A
+        *slo* given here enrolls the pipeline with the controller (now, or
+        when :meth:`enable_slo` is later called).
+        """
+        if admission not in ("check", "queue", "bypass"):
+            raise ConfigError(f"unknown admission mode {admission!r}")
         if self.deployer is None:
             self.deployer = Deployer(
                 self.kernel, self._get_transport(), self.devices, self.registry
             )
         if placement is None:
             placement = self.plan(config, strategy, default_device, host_device)
-        pipeline = self.deployer.deploy(
-            config,
-            placement,
-            module_instances=module_instances,
-            prefer_local_services=prefer_local_services,
-        )
+        gated = self.slo is not None and admission != "bypass"
+        if gated:
+            decision = self.slo.admit(
+                config, placement, queue=(admission == "queue")
+            )
+            if decision.action == REJECTED:
+                raise AdmissionError(decision.reason, decision)
+            if decision.action == QUEUED:
+                self.slo.enqueue(config, slo, {
+                    "strategy": strategy,
+                    "default_device": default_device,
+                    "host_device": host_device,
+                    "module_instances": module_instances,
+                    "prefer_local_services": prefer_local_services,
+                })
+                return None
+        try:
+            pipeline = self.deployer.deploy(
+                config,
+                placement,
+                module_instances=module_instances,
+                prefer_local_services=prefer_local_services,
+            )
+        except Exception:
+            if gated:
+                # admitted but never deployed: withdrawn, so admission
+                # conservation still balances
+                self.slo.on_deploy_failed()
+            raise
+        if gated:
+            self.slo.on_deployed()
         self.pipelines.append(pipeline)
         if self.optimizer is not None:
             self.optimizer.watch(pipeline)
@@ -582,6 +670,10 @@ class VideoPipe:
             self.monitor.add_probe(
                 f"pipeline/{pipeline.name}", pipeline_probe(pipeline)
             )
+        if self.slo is not None:
+            self.slo.watch(pipeline, slo)
+        elif slo is not None:
+            self._pending_slos[config.name] = slo
         return pipeline
 
     def migrate_module(self, pipeline: Pipeline, module_name: str,

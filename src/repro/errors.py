@@ -80,6 +80,17 @@ class DeploymentError(ReproError):
     """Raised when deploying a validated pipeline onto devices fails."""
 
 
+class AdmissionError(DeploymentError):
+    """Raised when SLO admission control rejects a deploy whose predicted
+    cost would overload a device and so violate existing pipelines' SLOs.
+    Carries the typed :class:`~repro.slo.AdmissionDecision` as
+    ``decision``."""
+
+    def __init__(self, message: str, decision: object = None) -> None:
+        super().__init__(message)
+        self.decision = decision
+
+
 class ServiceError(ReproError):
     """Raised by the service framework (unknown service, no live replica,
     a service handler crashed)."""

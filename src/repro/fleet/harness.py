@@ -27,6 +27,7 @@ from ..pipeline.pipeline import Pipeline
 from ..pipeline.placement import COLOCATED, SINGLE_HOST
 from ..pipeline.scheduler import COST_OPTIMIZED
 from ..sim.kernel import Kernel
+from ..slo.spec import SLO, SLOConfig, attainment as slo_attainment_score
 from .workload import (
     home_device_kinds,
     home_pipeline_config,
@@ -57,6 +58,12 @@ class FleetConfig:
             the ``fastest`` default).
         optimizer: cost-model/search knobs for ``optimized`` placement and
             the online loop.
+        slo: when given, every home runs the SLO guardian
+            (:meth:`~repro.core.videopipe.VideoPipe.enable_slo`) with this
+            as its pipeline's objective, and the report carries per-home
+            SLO attainment.
+        slo_config: controller knobs for the guardian (``None`` keeps
+            :class:`~repro.slo.spec.SLOConfig` defaults).
     """
 
     homes: int = 50
@@ -70,6 +77,8 @@ class FleetConfig:
     tracing: bool = False
     balancing: str | None = None
     optimizer: OptimizerConfig | None = None
+    slo: SLO | None = None
+    slo_config: SLOConfig | None = None
 
     def __post_init__(self) -> None:
         if self.homes < 1:
@@ -97,6 +106,13 @@ class HomeResult:
     replans: int
     latencies: list[float]
     sink_frame_ids: list[int]
+    #: fraction of capture-window buckets meeting the fleet SLO (``None``
+    #: when the fleet runs without one).
+    slo_attainment: float | None = None
+    #: ladder actions the home's SLO controller took.
+    slo_actions: int = 0
+    #: circuit-breaker open rejections the pipeline's calls hit.
+    service_rejections: int = 0
 
 
 @dataclass(slots=True)
@@ -112,6 +128,14 @@ class FleetReport:
     replans: int
     latency: Summary
     results: list[HomeResult] = field(default_factory=list)
+    #: mean per-home SLO attainment (``None`` without a fleet SLO).
+    slo_attainment_mean: float | None = None
+    #: homes whose attainment is at least 0.9.
+    slo_homes_meeting: int = 0
+    #: total ladder actions across all homes' SLO controllers.
+    slo_actions: int = 0
+    #: total circuit-breaker open rejections across all pipelines.
+    service_rejections: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -129,11 +153,15 @@ class FleetReport:
             "migrations": self.migrations,
             "replans": self.replans,
             "latency": self.latency.as_dict(),
+            "slo_attainment_mean": self.slo_attainment_mean,
+            "slo_homes_meeting": self.slo_homes_meeting,
+            "slo_actions": self.slo_actions,
+            "service_rejections": self.service_rejections,
         }
 
     def describe(self) -> str:
         lat = self.latency
-        return (
+        text = (
             f"fleet[{self.strategy}] {self.homes} homes:"
             f" {self.completed} frames,"
             f" drop {self.drop_rate:.1%},"
@@ -141,6 +169,15 @@ class FleetReport:
             f" p50 {lat.p50 * 1e3:.1f} ms p99 {lat.p99 * 1e3:.1f} ms,"
             f" {self.migrations} migrations, {self.replans} replans"
         )
+        if self.slo_attainment_mean is not None:
+            text += (
+                f", SLO attainment mean {self.slo_attainment_mean:.1%}"
+                f" ({self.slo_homes_meeting}/{self.homes} homes >= 90%,"
+                f" {self.slo_actions} ladder actions)"
+            )
+        if self.service_rejections:
+            text += f", {self.service_rejections} service rejections"
+        return text
 
 
 class Fleet:
@@ -171,6 +208,8 @@ class Fleet:
                 home.enable_tracing()
             if cfg.online:
                 home.enable_optimizer(cfg.optimizer)
+            if cfg.slo is not None:
+                home.enable_slo(config=cfg.slo_config, default_slo=cfg.slo)
             fps = cfg.fps_choices[mix_rng.randrange(len(cfg.fps_choices))]
             pipeline_config = home_pipeline_config(
                 f"home{index}",
@@ -228,6 +267,8 @@ class Fleet:
         for home in self.homes:
             if home.optimizer is not None:
                 home.optimizer.stop()
+            if home.slo is not None:
+                home.slo.stop()
         return self.kernel.run()
 
     # -- reporting -----------------------------------------------------------
@@ -237,6 +278,18 @@ class Fleet:
         for home, pipeline in zip(self.homes, self.pipelines):
             metrics = pipeline.metrics
             sink = pipeline.module_instance("sink")
+            home_attainment = None
+            home_actions = 0
+            if self.config.slo is not None and home.slo is not None:
+                # score the capture window only; the drain tail has no
+                # frames by construction and would read as misses
+                home_attainment = slo_attainment_score(
+                    self.config.slo,
+                    metrics.latency_events(),
+                    start=0.0,
+                    end=self.config.duration_s,
+                )
+                home_actions = len(home.slo.actions)
             result = HomeResult(
                 name=pipeline.name,
                 devices=sorted(home.devices),
@@ -247,9 +300,15 @@ class Fleet:
                 replans=metrics.counter("replans"),
                 latencies=metrics.total_latencies,
                 sink_frame_ids=list(sink.frame_ids),
+                slo_attainment=home_attainment,
+                slo_actions=home_actions,
+                service_rejections=metrics.counter("service_rejections"),
             )
             results.append(result)
             latencies.extend(result.latencies)
+        attainments = [
+            r.slo_attainment for r in results if r.slo_attainment is not None
+        ]
         return FleetReport(
             homes=len(self.homes),
             strategy=self.config.strategy,
@@ -260,6 +319,12 @@ class Fleet:
             replans=sum(r.replans for r in results),
             latency=summarize(latencies) if latencies else Summary.empty(),
             results=results,
+            slo_attainment_mean=(
+                sum(attainments) / len(attainments) if attainments else None
+            ),
+            slo_homes_meeting=sum(1 for a in attainments if a >= 0.9),
+            slo_actions=sum(r.slo_actions for r in results),
+            service_rejections=sum(r.service_rejections for r in results),
         )
 
 

@@ -76,6 +76,19 @@ class SyntheticCamera:
             )
         return truth, pixels
 
+    def set_resolution(self, width: int, height: int) -> None:
+        """Change the capture resolution; takes effect on the next frame.
+
+        The SLO controller's resolution rung degrades (and later restores)
+        frame size through this — smaller frames shrink both the modelled
+        JPEG wire size and the encode/decode compute charged per hop."""
+        if width < 16 or height < 16:
+            raise ConfigError("resolution must be at least 16x16")
+        self.width = int(width)
+        self.height = int(height)
+        # a frozen scene rendered at the old size must not leak through
+        self._frozen = None
+
     def capture(self, frame_id: int, t: float) -> VideoFrame:
         """Produce the frame the camera sees at simulated time *t*."""
         if self.freeze:
@@ -155,6 +168,7 @@ class VideoSource:
         self._pending: VideoFrame | None = None
         self._last_emit_at = 0.0
         self._running = False
+        self._paused = False
         # statistics
         self.captured_count = 0
         self.emitted_count = 0
@@ -173,6 +187,27 @@ class VideoSource:
 
     def stop(self) -> None:
         self._running = False
+
+    def set_fps(self, fps: float) -> None:
+        """Change the capture rate; takes effect from the next tick (the
+        loop re-reads ``fps`` every interval)."""
+        if fps <= 0:
+            raise ConfigError("fps must be positive")
+        self.fps = float(fps)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def set_paused(self, paused: bool) -> None:
+        """Pause (or resume) capture without tearing the loop down.
+
+        While paused the loop keeps ticking but captures nothing, so no
+        frames enter the pipeline and no source drops accrue; resuming
+        restarts capture on the next tick. This is the SLO controller's
+        last-resort 'drop the pipeline' rung — reversible, unlike
+        :meth:`stop`. Paused time still counts toward ``duration_s``."""
+        self._paused = bool(paused)
 
     def grant_credit(self) -> None:
         """The sink's 'done, send the next frame' signal (§2.3).
@@ -222,6 +257,11 @@ class VideoSource:
             elapsed = self.kernel.now - start_time
             if duration_s is not None and elapsed >= duration_s - 1e-9:
                 break
+            if self._paused:
+                # keep ticking (cheaply, without consuming jitter draws) so
+                # resume takes effect within one base interval
+                yield 1.0 / self.fps
+                continue
             if max_frames is not None and frame_id >= max_frames:
                 break
             frame_id += 1

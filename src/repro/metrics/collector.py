@@ -24,6 +24,7 @@ class MetricsCollector:
         self.completions = RateMeter()
         self._frame_started: dict[int, float] = {}
         self._frame_latencies: list[float] = []
+        self._latency_events: list[tuple[float, float]] = []
         #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
         #: ``None`` while auditing is off (set by ``watch_metrics``).
         self.auditor: Any = None
@@ -81,6 +82,7 @@ class MetricsCollector:
         started = self._frame_started.pop(frame_id, None)
         if started is not None:
             self._frame_latencies.append(now - started)
+            self._latency_events.append((now, now - started))
         self._counters["frames_completed"] += 1
         if self.auditor is not None:
             self.auditor.on_frame_completed(self, frame_id)
@@ -116,6 +118,25 @@ class MetricsCollector:
     @property
     def total_latencies(self) -> list[float]:
         return list(self._frame_latencies)
+
+    def latency_events(self) -> list[tuple[float, float]]:
+        """``(completion_time, latency_s)`` per completed frame, in
+        completion order. The SLO machinery windows over this to compute
+        delivered FPS and tail latency; treat the returned list as
+        read-only (it is the live record, not a copy)."""
+        return self._latency_events
+
+    def delivered_fps(self, now: float, window_s: float) -> float:
+        """Completed frames per second over the trailing *window_s*."""
+        if window_s <= 0:
+            return 0.0
+        cutoff = now - window_s
+        count = 0
+        for at, _ in reversed(self._latency_events):
+            if at <= cutoff:
+                break
+            count += 1
+        return count / window_s
 
     # -- counters ------------------------------------------------------------
     def increment(self, counter: str, amount: int = 1) -> None:

@@ -21,6 +21,7 @@ from .probes import (
     device_probe,
     pipeline_probe,
     service_probe,
+    slo_probe,
     tracing_probe,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "pipeline_probe",
     "scale_service_remedy",
     "service_probe",
+    "slo_probe",
     "tracing_probe",
 ]

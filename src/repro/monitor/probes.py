@@ -84,6 +84,7 @@ def pipeline_probe(pipeline: Pipeline) -> ProbeFn:
             "frames_in_flight": float(metrics.frames_in_flight),
             "module_errors": float(errors),
             "queued_events": float(mailboxes),
+            "service_rejections": float(metrics.counter("service_rejections")),
         }
 
     return read
@@ -100,6 +101,33 @@ def audit_probe(auditor) -> ProbeFn:
             "violations": float(auditor.violation_count),
             "dropped_violations": float(auditor.dropped_violations),
             "checks_run": float(auditor.checks_run),
+        }
+
+    return read
+
+
+def slo_probe(controller) -> ProbeFn:
+    """Enrollment states, ladder depth and admission counters for the
+    home's SLO controller."""
+
+    def read() -> dict[str, float]:
+        counters = controller.metrics.counters()
+        enrollments = controller.enrollments
+        return {
+            "enrolled": float(len(enrollments)),
+            "overloaded": float(
+                sum(1 for e in enrollments if e.state == "overloaded")
+            ),
+            "strained": float(
+                sum(1 for e in enrollments if e.state == "strained")
+            ),
+            "ladder_depth": float(sum(e.depth for e in enrollments)),
+            "actions": float(len(controller.actions)),
+            "deploys_requested": float(counters.get("deploys_requested", 0)),
+            "deploys_rejected": float(counters.get("deploys_rejected", 0)),
+            "deploys_withdrawn": float(counters.get("deploys_withdrawn", 0)),
+            "deploys_deployed": float(counters.get("deploys_deployed", 0)),
+            "deploys_queued_now": float(len(controller.queued)),
         }
 
     return read

@@ -71,6 +71,16 @@ class RetryPolicy:
             delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
         return max(0.0, delay)
 
+    def deadline_allows(self, delay_s: float, now: float, deadline: float) -> bool:
+        """Whether a retry delayed by *delay_s* is worth starting at all.
+
+        An attempt that would begin at (or after) the caller's deadline
+        cannot complete before it — retrying past that point only amplifies
+        overload with work whose answer nobody is waiting for. The
+        :class:`~repro.net.rpc.RpcClient` consults this before scheduling
+        each retry and abandons the call when it returns ``False``."""
+        return now + delay_s < deadline - 1e-9
+
 
 @dataclass(frozen=True, slots=True)
 class CircuitBreakerPolicy:

@@ -91,6 +91,7 @@ class RpcClient:
         self.calls_sent = 0
         self.calls_failed = 0
         self.retries = 0
+        self.retries_abandoned = 0
         self.timeouts = 0
         self.late_replies = 0
 
@@ -109,21 +110,32 @@ class RpcClient:
         timeout: float | None = _UNSET,
         retry: RetryPolicy | None = _UNSET,
         headers: dict[str, Any] | None = None,
+        deadline_s: float | None = None,
     ) -> Signal:
         """Send *payload* to *target*; the returned signal resolves with the
         reply payload, or fails with :class:`~repro.errors.RpcError` on a
         remote error, timeout, or (after any retries) delivery failure.
 
         ``timeout``/``retry`` default to the client-wide policies; pass
-        ``None`` explicitly to disable either for one call. *headers* are
-        extra request headers (e.g. a trace context) merged into every
-        attempt, outside the charged envelope.
+        ``None`` explicitly to disable either for one call. ``timeout`` is
+        **per attempt**: each retry re-arms it. *headers* are extra request
+        headers (e.g. a trace context) merged into every attempt, outside
+        the charged envelope.
+
+        ``deadline_s``, when given, is the overall budget for the whole
+        call — retries never outlive it. Each retry attempt's own timer is
+        capped at the budget remaining, and a retry whose backoff delay
+        would start it at or past the deadline is abandoned instead of
+        scheduled (``retries_abandoned`` counts those). Service stubs pass
+        their derived service timeout here so a flaky link cannot stretch
+        one logical call to ``attempts x timeout`` plus backoff.
         """
         timeout_s = self.default_timeout_s if timeout is _UNSET else timeout
         policy = self.retry if retry is _UNSET else retry
+        deadline = None if deadline_s is None else self.kernel.now + deadline_s
         done = self.kernel.signal(name=f"rpc-call:{target.device}:{target.port}")
         self._start_attempt(target, payload, timeout_s, policy, done, 1,
-                            headers=headers)
+                            headers=headers, deadline=deadline)
         return done
 
     def breaker_for(self, target: Address) -> CircuitBreaker | None:
@@ -166,6 +178,7 @@ class RpcClient:
         done: Signal,
         attempt: int,
         headers: dict[str, Any] | None = None,
+        deadline: float | None = None,
     ) -> None:
         if not done.pending:
             return
@@ -180,11 +193,18 @@ class RpcClient:
                 f" {breaker.consecutive_failures} consecutive failures"
             ))
             return
-        result = self._attempt(target, payload, timeout_s, headers)
+        attempt_timeout = timeout_s
+        if deadline is not None:
+            # a retry's timer is capped at the budget left on the original
+            # call, so the overall call never outlives its deadline
+            attempt_timeout = max(1e-9, deadline - self.kernel.now)
+            if timeout_s is not None:
+                attempt_timeout = min(timeout_s, attempt_timeout)
+        result = self._attempt(target, payload, attempt_timeout, headers)
         result.wait(
             lambda value, exc: self._on_attempt_done(
                 target, payload, timeout_s, policy, done, attempt, value, exc,
-                headers,
+                headers, deadline,
             )
         )
 
@@ -199,6 +219,7 @@ class RpcClient:
         value: Any,
         exc: BaseException | None,
         headers: dict[str, Any] | None = None,
+        deadline: float | None = None,
     ) -> None:
         if not done.pending:
             return
@@ -216,13 +237,21 @@ class RpcClient:
                 breaker.record_success()  # a remote error proves liveness
         max_attempts = policy.max_attempts if policy is not None else 1
         if retryable and not self._closed and attempt < max_attempts:
-            self.retries += 1
             delay = policy.backoff_s(attempt, self._rng)
-            self.kernel.schedule(
-                delay, self._start_attempt,
-                target, payload, timeout_s, policy, done, attempt + 1, headers,
-            )
-            return
+            if deadline is not None and not policy.deadline_allows(
+                delay, self.kernel.now, deadline
+            ):
+                # the next attempt could not complete before the caller's
+                # deadline — give up now instead of amplifying overload
+                self.retries_abandoned += 1
+            else:
+                self.retries += 1
+                self.kernel.schedule(
+                    delay, self._start_attempt,
+                    target, payload, timeout_s, policy, done, attempt + 1,
+                    headers, deadline,
+                )
+                return
         self.calls_failed += 1
         done.fail(exc)
 

@@ -496,6 +496,19 @@ class OnlineOptimizer:
         except Interrupt:
             return
 
+    def replan_now(self, pipeline: "Pipeline") -> ReplanEvent | None:
+        """Reconsider one pipeline immediately, outside the periodic loop.
+
+        The SLO controller's placement rung calls this when a pipeline is
+        overloaded — same calibrated model, same migration threshold as a
+        scheduled tick. Returns the :class:`ReplanEvent` when modules
+        actually moved, ``None`` when the current placement stands."""
+        before = len(self.events)
+        self._consider(pipeline)
+        if len(self.events) > before:
+            return self.events[-1]
+        return None
+
     def _consider(self, pipeline: "Pipeline") -> None:
         home = self.home
         live = {name: dev for name, dev in home.devices.items() if dev.up}

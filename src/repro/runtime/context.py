@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from ..errors import ServiceError
+from ..errors import CircuitOpenError, ServiceError
 from ..frames.frame import FrameRef, VideoFrame
 from ..frames.payloads import add_refs
 from ..sim.signals import Signal
@@ -103,6 +103,16 @@ class ModuleContext:
                 f" {service_name!r} in its configuration"
             )
         self.metrics.increment(f"service_calls.{service_name}")
+        metrics = self.metrics
+
+        def _count_rejection(_value: Any, exc: BaseException | None) -> None:
+            # a breaker-open rejection arrives either directly or as the
+            # __cause__ of the remote stub's ServiceError wrapper
+            if isinstance(exc, CircuitOpenError) or isinstance(
+                getattr(exc, "__cause__", None), CircuitOpenError
+            ):
+                metrics.increment("service_rejections")
+
         # local cache hits resolve synchronously inside call(), so a counter
         # snapshot attributes them to this pipeline's metrics
         host = getattr(stub, "host", None)
@@ -137,6 +147,7 @@ class ModuleContext:
             signal.wait(_record)
         else:
             signal = stub.call(payload)
+        signal.wait(_count_rejection)
         if host is not None and host.cache_hits > hits_before:
             self.metrics.increment(f"service_cache_hits.{service_name}")
         return signal

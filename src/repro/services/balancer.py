@@ -75,6 +75,23 @@ def host_is_live(host: ServiceHost) -> bool:
     return host.up and host.device.up
 
 
+def service_pressure(registry: ServiceRegistry, service_name: str) -> float:
+    """Backlog on a service across its live replicas: queued requests plus
+    in-service requests beyond the replica pool's capacity, summed over
+    hosts. 0.0 means every request finds a free worker immediately; the
+    overload detector reads this as its queue probe — sustained positive
+    pressure on a service a pipeline calls is queueing delay that will show
+    up in that pipeline's tail latency. An unknown service reads 0.0 (the
+    pipeline calls nothing that can queue)."""
+    pressure = 0.0
+    for host in registry.hosts_of(service_name):
+        if not host_is_live(host):
+            continue
+        pressure += host.queue_length
+        pressure += max(0, host.busy_workers - host.replicas)
+    return pressure
+
+
 def select_host(
     registry: ServiceRegistry,
     service_name: str,

@@ -165,6 +165,37 @@ class AutoScaler:
             host.remove_replica(step)
             self._record(host, before, avg_queue, "scale_down")
 
+    def request_scale(
+        self, host: ServiceHost, step: int, reason: str = "slo"
+    ) -> bool:
+        """Externally request a replica change (e.g. from the SLO
+        controller's degradation ladder), honouring the same policy bounds
+        and cooldown as the sampling loop so the auditor's event-pacing
+        invariant holds for every scaling event, whoever initiated it.
+
+        Returns ``True`` when a replica was actually added or removed;
+        ``False`` when the request was refused (cooldown still running, or
+        the host already sits at the relevant bound)."""
+        if step == 0:
+            return False
+        now = self.kernel.now
+        last = self._last_event_at.get(host)
+        if last is not None and now - last < self.policy.cooldown_s:
+            return False
+        before = host.replicas
+        target = max(
+            self.policy.min_replicas,
+            min(self.policy.max_replicas, before + step),
+        )
+        if target == before:
+            return False
+        if target > before:
+            host.add_replica(target - before)
+        else:
+            host.remove_replica(before - target)
+        self._record(host, before, float(host.queue_length), reason)
+        return True
+
     def _record(
         self, host: ServiceHost, before: int, avg_queue: float, reason: str
     ) -> None:

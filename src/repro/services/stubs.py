@@ -190,6 +190,9 @@ class RemoteServiceStub(ServiceStub):
                     result = yield self._client.call(
                         self.target_address, wire_payload,
                         timeout=self.timeout_s, headers=headers,
+                        # the derived timeout is the whole call's budget:
+                        # retries must not stretch it to attempts x timeout
+                        deadline_s=self.timeout_s,
                     )
                     break
                 except NetworkError as exc:
@@ -207,10 +210,17 @@ class RemoteServiceStub(ServiceStub):
                         )
             yield self.caller_device.cpu.execute(API_MARSHAL_S)  # reply unmarshal
         except Exception as exc:
-            done.fail(
-                exc if isinstance(exc, ServiceError)
-                else ServiceError(f"{self.service_name} remote call failed: {exc}")
-            )
+            if isinstance(exc, ServiceError):
+                wrapped = exc
+            else:
+                wrapped = ServiceError(
+                    f"{self.service_name} remote call failed: {exc}"
+                )
+                # keep the transport-level cause reachable: the module
+                # context distinguishes breaker rejections (CircuitOpenError)
+                # from other failures when counting service_rejections
+                wrapped.__cause__ = exc
+            done.fail(wrapped)
             return
         done.succeed(result)
 

@@ -1,0 +1,52 @@
+"""SLO guardian: declarations, overload detection, closed-loop control.
+
+See :mod:`repro.slo.spec` for the :class:`SLO` contract,
+:mod:`repro.slo.detector` for classification, :mod:`repro.slo.ladder` for
+the reversible degradation ladder, :mod:`repro.slo.admission` for
+deploy-time admission control and :mod:`repro.slo.controller` for the loop
+that ties them together. ``docs/SLO.md`` walks through the design.
+"""
+
+from .admission import AdmissionController, pipeline_fps
+from .controller import Enrollment, QueuedDeploy, SLOController
+from .detector import DetectorReading, OverloadDetector, classify_signals
+from .ladder import LadderAction, LadderStep, build_ladder, find_source
+from .spec import (
+    ADMITTED,
+    HEALTHY,
+    OVERLOADED,
+    QUEUED,
+    REJECTED,
+    SLO,
+    STRAINED,
+    AdmissionDecision,
+    SLOConfig,
+    attainment,
+    quantile,
+)
+
+__all__ = [
+    "ADMITTED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DetectorReading",
+    "Enrollment",
+    "HEALTHY",
+    "LadderAction",
+    "LadderStep",
+    "OVERLOADED",
+    "OverloadDetector",
+    "QUEUED",
+    "QueuedDeploy",
+    "REJECTED",
+    "SLO",
+    "SLOConfig",
+    "SLOController",
+    "STRAINED",
+    "attainment",
+    "build_ladder",
+    "classify_signals",
+    "find_source",
+    "pipeline_fps",
+    "quantile",
+]

@@ -1,0 +1,134 @@
+"""Deadline-aware retry: retries never outlive the caller's budget.
+
+``RpcClient.call(timeout=...)`` is per-attempt (each retry re-arms it);
+``deadline_s`` is the overall budget for the whole call. A retry whose
+backoff would start it at or past the deadline is abandoned, and each
+attempt's own timer is capped at the budget remaining — so one logical
+call can never stretch to ``attempts x timeout`` plus backoff.
+"""
+
+import pytest
+
+from repro.net import (
+    Address,
+    BrokerlessTransport,
+    LinkSpec,
+    RetryPolicy,
+    RpcClient,
+    RpcServer,
+    Topology,
+)
+from repro.sim import Kernel, RngStreams
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def net(kernel):
+    topo = Topology(kernel, RngStreams(seed=1))
+    topo.add_wifi("wifi", LinkSpec(latency_s=0.002, jitter_cv=0.0))
+    for device in ["phone", "desktop"]:
+        topo.attach(device, "wifi")
+    return BrokerlessTransport(kernel, topo)
+
+
+def slow_server(kernel, net, delay=10.0):
+    RpcServer(kernel, net, Address("desktop", 6000),
+              lambda p, m: kernel.timeout(delay, "slow"))
+
+
+class TestDeadline:
+    def test_backoff_past_deadline_abandons_the_retry(self, kernel, net):
+        slow_server(kernel, net)
+        client = RpcClient(
+            kernel, net, "phone",
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0))
+        result = client.call(Address("desktop", 6000), None,
+                             timeout=0.2, deadline_s=0.3)
+        failed_at = {}
+        result.wait(lambda value, exc: failed_at.setdefault("t", kernel.now))
+        kernel.run()
+        assert result.failed
+        assert client.retries == 0
+        assert client.retries_abandoned == 1
+        # the call fails at the first attempt's timeout; the 0.5 s backoff
+        # plus second attempt never runs
+        assert failed_at["t"] == pytest.approx(0.2, abs=0.05)
+
+    def test_attempt_timer_is_capped_at_remaining_budget(self, kernel, net):
+        slow_server(kernel, net)
+        client = RpcClient(kernel, net, "phone", retry=None)
+        result = client.call(Address("desktop", 6000), None,
+                             timeout=5.0, deadline_s=0.4)
+        failed_at = {}
+        result.wait(lambda value, exc: failed_at.setdefault("t", kernel.now))
+        kernel.run()
+        assert result.failed
+        # the per-attempt timeout (5 s) was clipped to the 0.4 s budget
+        assert client.timeouts == 1
+        assert failed_at["t"] == pytest.approx(0.4, abs=0.05)
+
+    def test_deadline_with_room_still_retries(self, kernel, net):
+        calls = {"n": 0}
+
+        def handler(payload, msg):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return kernel.timeout(5.0, "slow")
+            return "fast"
+
+        RpcServer(kernel, net, Address("desktop", 6000), handler)
+        client = RpcClient(
+            kernel, net, "phone",
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.05, jitter=0.0))
+        result = client.call(Address("desktop", 6000), None,
+                             timeout=0.3, deadline_s=2.0)
+        kernel.run()
+        assert result.value == "fast"
+        assert client.retries == 1
+        assert client.retries_abandoned == 0
+
+    def test_no_deadline_keeps_per_attempt_semantics(self, kernel, net):
+        slow_server(kernel, net)
+        client = RpcClient(
+            kernel, net, "phone",
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0))
+        result = client.call(Address("desktop", 6000), None, timeout=0.3)
+        kernel.run()
+        assert result.failed
+        assert client.retries == 1  # both attempts ran their full timer
+        assert client.timeouts == 2
+        assert client.retries_abandoned == 0
+
+
+class TestServiceStubDeadline:
+    def test_remote_stub_budgets_the_whole_call(self):
+        """The stub passes its derived timeout as the overall deadline, so
+        a retried service call cannot stretch to attempts x timeout."""
+        from repro.core.videopipe import VideoPipe
+        from repro.services import FunctionService
+        from repro.services.stubs import RemoteServiceStub
+
+        home = VideoPipe.paper_testbed(seed=3)
+        service = FunctionService("echo", lambda p, c: p,
+                                  reference_cost_s=0.001, default_port=6100)
+        host = home.deploy_service(service, "desktop")
+        stub = RemoteServiceStub(home.kernel, home.transport,
+                                 home.device("phone"), host)
+        kernel = home.kernel
+
+        captured = {}
+        original = stub._client.call
+
+        def spy(address, payload, **kwargs):
+            captured.update(kwargs)
+            return original(address, payload, **kwargs)
+
+        stub._client.call = spy
+        stub.call({"ping": 1})
+        kernel.run()
+        assert captured["deadline_s"] == stub.timeout_s
+        assert captured["timeout"] == stub.timeout_s

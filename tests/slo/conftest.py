@@ -1,0 +1,15 @@
+"""Shared trained recognizers (training once keeps the suite fast)."""
+
+import pytest
+
+from repro.apps import train_activity_recognizer, train_gesture_recognizer
+
+
+@pytest.fixture(scope="session")
+def fitness_recognizer():
+    return train_activity_recognizer(seed=1, train_subjects=4)
+
+
+@pytest.fixture(scope="session")
+def gesture_recognizer():
+    return train_gesture_recognizer(seed=1, train_subjects=4)
