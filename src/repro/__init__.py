@@ -48,10 +48,12 @@ from .errors import (
     ReproError,
     ServiceError,
     SimulationError,
+    StaleHandleError,
 )
 from .faults import ChaosInjector, FaultEvent, FaultPlan
 from .pipeline import (
     AuditConfig,
+    DataPlaneConfig,
     ModuleConfig,
     Pipeline,
     PerfConfig,
@@ -73,6 +75,7 @@ __all__ = [
     "ChaosInjector",
     "ConfigError",
     "DeploymentError",
+    "DataPlaneConfig",
     "DeviceError",
     "FaultError",
     "FaultEvent",
@@ -94,6 +97,7 @@ __all__ = [
     "ServiceCallContext",
     "ServiceError",
     "SimulationError",
+    "StaleHandleError",
     "TraceConfig",
     "VideoPipe",
     "__version__",

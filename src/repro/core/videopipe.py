@@ -50,6 +50,7 @@ from ..net.topology import Topology
 from ..net.transport import BrokerlessTransport, Transport
 from ..pipeline.config import (
     AuditConfig,
+    DataPlaneConfig,
     PerfConfig,
     PipelineConfig,
     TraceConfig,
@@ -120,6 +121,7 @@ class VideoPipe:
         self.injector: ChaosInjector | None = None
         self._responders: dict[str, HeartbeatResponder] = {}
         self._perf: PerfConfig | None = None
+        self._data_plane: DataPlaneConfig | None = None
         self.optimizer: OnlineOptimizer | None = None
         self.tracer: TraceRecorder | None = None
         self.auditor: InvariantAuditor | None = None
@@ -161,8 +163,12 @@ class VideoPipe:
         self.devices[spec.name] = device
         if self._perf is not None:
             self._apply_perf_to_device(device)
+        if self._data_plane is not None:
+            self._apply_data_plane_to_device(device)
         if self.auditor is not None:
             self.auditor.watch_store(device.frame_store)
+            if device.arena is not None:
+                self.auditor.watch_arena(device.arena)
         ModuleRuntime(self.kernel, device, self._get_transport())
         if self.monitor is not None:
             self.monitor.add_probe(f"device/{spec.name}", device_probe(device))
@@ -227,6 +233,9 @@ class VideoPipe:
         self.registry.register(host)
         if self._perf is not None:
             self._apply_perf_to_host(host)
+        if (self._data_plane is not None and self._data_plane.replica_pool
+                and device.replica_pool is not None):
+            host.attach_pool(device.replica_pool)
         if self.autoscaler is not None:
             self.autoscaler.watch(host)
         if self.tracer is not None:
@@ -316,6 +325,101 @@ class VideoPipe:
         )
         return {"dedup": dedup, "cache": cache, "batching": batching}
 
+    # -- data plane ----------------------------------------------------------------
+    def enable_data_plane(
+        self, config: DataPlaneConfig | None = None
+    ) -> DataPlaneConfig:
+        """Turn on the zero-copy data plane: per-device shared-memory frame
+        arenas and pooled service replicas, per *config* (defaults to
+        :class:`DataPlaneConfig` — both on).
+
+        Applies to every current and future device and service host, like
+        :meth:`enable_fast_path`. Arena-backed stores hand out generation-
+        counted handles so intra-device hops ship a fixed-size handle tuple
+        instead of walking and pricing the payload tree; pooled hosts share
+        the device's worker slots instead of statically partitioning them
+        (``docs/PERF.md``). With a config whose features are all off this is
+        a no-op.
+        """
+        self._data_plane = config or DataPlaneConfig()
+        for device in self.devices.values():
+            self._apply_data_plane_to_device(device)
+        return self._data_plane
+
+    def enable_arena(
+        self, capacity_bytes: int | None = None
+    ) -> DataPlaneConfig:
+        """Arena half of :meth:`enable_data_plane` only (no replica pools).
+        Keeps an already-enabled pool config intact."""
+        prior = self._data_plane
+        return self.enable_data_plane(DataPlaneConfig(
+            arena=True,
+            arena_capacity_bytes=capacity_bytes,
+            replica_pool=prior.replica_pool if prior else False,
+            pool_slots=prior.pool_slots if prior else None,
+        ))
+
+    def enable_replica_pool(
+        self, slots: int | None = None
+    ) -> DataPlaneConfig:
+        """Pool half of :meth:`enable_data_plane` only (no arenas). Keeps
+        an already-enabled arena config intact."""
+        prior = self._data_plane
+        return self.enable_data_plane(DataPlaneConfig(
+            arena=prior.arena if prior else False,
+            arena_capacity_bytes=prior.arena_capacity_bytes if prior else None,
+            replica_pool=True,
+            pool_slots=slots,
+        ))
+
+    def _apply_data_plane_to_device(self, device: Device) -> None:
+        assert self._data_plane is not None
+        if self._data_plane.arena:
+            arena = device.enable_arena(
+                capacity_bytes=self._data_plane.arena_capacity_bytes
+            )
+            if self.auditor is not None and arena.auditor is None:
+                self.auditor.watch_arena(arena)
+        if self._data_plane.replica_pool:
+            device.enable_replica_pool(slots=self._data_plane.pool_slots)
+
+    def data_plane_stats(self) -> dict:
+        """Aggregate data-plane statistics across the home: arena
+        allocation counters per device and replica-pool sharing counters.
+        All zeros while the data plane is off."""
+        arena = {
+            "allocs": 0, "frees": 0, "live": 0, "bytes_in_use": 0,
+            "peak_bytes": 0, "stale_accesses": 0, "by_device": {},
+        }
+        pool = {
+            "grants": 0, "borrowed": 0, "revoked": 0, "backlog": 0,
+            "by_device": {},
+        }
+        for name, device in self.devices.items():
+            if device.arena is not None:
+                stats = device.arena.stats()
+                arena["by_device"][name] = stats
+                arena["allocs"] += stats["allocs"]
+                arena["frees"] += stats["frees"]
+                arena["live"] += stats["live"]
+                arena["bytes_in_use"] += stats["bytes_in_use"]
+                arena["peak_bytes"] += stats["peak_bytes"]
+                arena["stale_accesses"] += sum(stats["stale_accesses"].values())
+            if device.replica_pool is not None:
+                stats = device.replica_pool.stats()
+                pool["by_device"][name] = stats
+                pool["grants"] += stats["total_grants"]
+                pool["borrowed"] += stats["borrowed_grants"]
+                pool["revoked"] += sum(
+                    lease.revoked_grants
+                    for lease in device.replica_pool.leases.values()
+                )
+                pool["backlog"] += stats["backlog"]
+        pool["borrow_ratio"] = (
+            pool["borrowed"] / pool["grants"] if pool["grants"] else 0.0
+        )
+        return {"arena": arena, "pool": pool}
+
     # -- tracing -------------------------------------------------------------------
     def enable_tracing(self, trace: TraceConfig | None = None) -> TraceRecorder:
         """Turn on per-frame distributed tracing home-wide.
@@ -360,6 +464,8 @@ class VideoPipe:
                 self.auditor.watch_transport(self.transport)
             for device in self.devices.values():
                 self.auditor.watch_store(device.frame_store)
+                if device.arena is not None:
+                    self.auditor.watch_arena(device.arena)
             for pipeline in self.pipelines:
                 self.auditor.watch_metrics(pipeline.metrics)
             if self.autoscaler is not None:

@@ -40,6 +40,12 @@ class Device:
         #: Filled by the deployer.
         self.runtime: "ModuleRuntime | None" = None
         self.service_hosts: dict[str, "ServiceHost"] = {}
+        #: The device's shared-memory frame arena, or ``None`` until
+        #: :meth:`enable_arena` backs the frame store with one.
+        self.arena = None
+        #: The device's shared replica pool, or ``None`` until
+        #: :meth:`enable_replica_pool` creates it.
+        self.replica_pool = None
         #: Power state; flipped by :meth:`crash` / :meth:`restart`.
         self.up = True
         self.crash_count = 0
@@ -72,6 +78,32 @@ class Device:
         self.up = True
         for host in self.service_hosts.values():
             host.restart()
+
+    # -- perf subsystems ------------------------------------------------------
+    def enable_arena(self, capacity_bytes: int | None = None):
+        """Back this device's frame store with a generation-counted
+        :class:`~repro.frames.arena.FrameArena` (idempotent; returns it)."""
+        if self.arena is None:
+            from ..frames.arena import FrameArena
+
+            self.arena = FrameArena(self.name, capacity_bytes=capacity_bytes)
+            self.frame_store.attach_arena(self.arena)
+        return self.arena
+
+    def enable_replica_pool(self, slots: int | None = None):
+        """Create the device's shared :class:`~repro.services.pool
+        .ReplicaPool` (one slot per core by default; idempotent) and attach
+        every currently idle service host to it. Returns the pool."""
+        if self.replica_pool is None:
+            from ..services.pool import ReplicaPool
+
+            self.replica_pool = ReplicaPool.for_device(
+                self.kernel, self, slots=slots
+            )
+        for host in self.service_hosts.values():
+            if host.pool is None:
+                host.attach_pool(self.replica_pool)
+        return self.replica_pool
 
     @property
     def supports_containers(self) -> bool:

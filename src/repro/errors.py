@@ -100,6 +100,18 @@ class FrameStoreError(ReproError):
     """Raised for invalid frame-reference usage (unknown id, double free)."""
 
 
+class StaleHandleError(FrameStoreError):
+    """Raised when an arena handle is dereferenced after its slot was
+    retired (evicted, migrated off-device, or released) — the generation
+    counter on the slot no longer matches the handle's. Carries the retire
+    ``reason`` so the caller (and the auditor) can tell use-after-evict
+    from use-after-migrate from double-release."""
+
+    def __init__(self, message: str, reason: str = "unknown") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class AuditError(ReproError):
     """Raised by the invariant auditor in strict mode when a conservation
     law or ordering invariant is violated (the default is to record the

@@ -1,5 +1,12 @@
 """Frames: capture, compression, storage-by-reference, and pacing."""
 
+from .arena import (
+    EVICTED,
+    MIGRATED,
+    RELEASED,
+    ArenaHandle,
+    FrameArena,
+)
 from .codec import (
     DECODE_NS_PER_PIXEL,
     ENCODE_NS_PER_PIXEL,
@@ -22,9 +29,14 @@ from .synthetic import (
 from .video_source import SyntheticCamera, VideoSource
 
 __all__ = [
+    "ArenaHandle",
     "DECODE_NS_PER_PIXEL",
     "ENCODE_NS_PER_PIXEL",
+    "EVICTED",
     "EncodedFrame",
+    "FrameArena",
+    "MIGRATED",
+    "RELEASED",
     "FrameRef",
     "FrameStore",
     "SyntheticCamera",

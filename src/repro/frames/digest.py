@@ -20,6 +20,7 @@ cached).
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Any, Callable
 
 import numpy as np
@@ -31,6 +32,30 @@ from .frame import FrameRef, VideoFrame
 #: blake2b digest width; 16 bytes is collision-safe for any plausible
 #: number of in-flight frames and keeps keys short.
 DIGEST_BYTES = 16
+
+#: Recently hashed pixel planes, keyed by array identity with a strong
+#: reference held so the id cannot be recycled while cached. Static scenes
+#: freeze one pixels array and stamp it into every capture, so without this
+#: the dedup path re-hashes the identical plane once per frame — the
+#: dominant cost of ``content_digest``. Bounded small: entries pin arrays.
+_PLANE_CACHE_LIMIT = 8
+_plane_cache: "OrderedDict[int, tuple[np.ndarray, str]]" = OrderedDict()
+
+
+def _plane_digest(arr: np.ndarray) -> str:
+    """Digest of one pixel plane, memoized by array identity."""
+    key = id(arr)
+    entry = _plane_cache.get(key)
+    if entry is not None and entry[0] is arr:
+        _plane_cache.move_to_end(key)
+        return entry[1]
+    hasher = hashlib.blake2b(digest_size=DIGEST_BYTES)
+    _feed_array(hasher, arr)
+    digest = hasher.hexdigest()
+    _plane_cache[key] = (arr, digest)
+    while len(_plane_cache) > _PLANE_CACHE_LIMIT:
+        _plane_cache.popitem(last=False)
+    return digest
 
 #: Optional resolver mapping a FrameRef leaf to the digest of the object it
 #: points at (the frame store provides this); without one, payloads
@@ -71,15 +96,11 @@ def _feed(hasher, obj: Any, resolve_ref: RefResolver | None) -> bool:
         _feed_array(hasher, np.asarray(obj.visibility))
         return True
     if isinstance(obj, VideoFrame):
-        hasher.update(b"\x00F")
-        hasher.update(f"{obj.width}x{obj.height}x{obj.channels}".encode())
-        if obj.pixels is not None:
-            _feed_array(hasher, obj.pixels)
-        else:
-            hasher.update(b"-")
-        if obj.truth is not None and not _feed(hasher, obj.truth, resolve_ref):
+        digest = _frame_digest(obj, resolve_ref)
+        if digest is None:
             return False
-        return _feed(hasher, obj.metadata, resolve_ref)
+        hasher.update(b"\x00F" + digest.encode())
+        return True
     if isinstance(obj, EncodedFrame):
         # the quantized carried frame *is* the wire content; quality matters
         # because different qualities decode to different pixels
@@ -112,6 +133,35 @@ def _feed(hasher, obj: Any, resolve_ref: RefResolver | None) -> bool:
                 return False
         return True
     return False  # arbitrary object: no stable byte representation
+
+
+def _frame_digest(
+    frame: VideoFrame, resolve_ref: RefResolver | None
+) -> str | None:
+    """Digest of one frame's content, memoized on the frame object.
+
+    The cache pairs the digest with the identity of the pixels array it was
+    computed over: replacing ``frame.pixels`` invalidates automatically,
+    while in-place mutation requires
+    :meth:`~repro.frames.frame.VideoFrame.invalidate_digest`.
+    """
+    pixels_key = id(frame.pixels) if frame.pixels is not None else None
+    cached = frame._digest_cache
+    if cached is not None and cached[1] == pixels_key:
+        return cached[0]
+    hasher = hashlib.blake2b(digest_size=DIGEST_BYTES)
+    hasher.update(f"{frame.width}x{frame.height}x{frame.channels}".encode())
+    if frame.pixels is not None:
+        hasher.update(b"\x00a" + _plane_digest(frame.pixels).encode())
+    else:
+        hasher.update(b"-")
+    if frame.truth is not None and not _feed(hasher, frame.truth, resolve_ref):
+        return None
+    if not _feed(hasher, frame.metadata, resolve_ref):
+        return None
+    digest = hasher.hexdigest()
+    frame._digest_cache = (digest, pixels_key)
+    return digest
 
 
 def content_digest(

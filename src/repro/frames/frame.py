@@ -43,6 +43,19 @@ class VideoFrame:
     pixels: np.ndarray | None = None
     truth: Pose | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Memoized ``(digest_hex, pixels_identity)`` pair maintained by
+    #: :mod:`repro.frames.digest` — excluded from equality/repr so caching
+    #: never changes frame semantics. Identity of the pixels array is part
+    #: of the key, so swapping in a new array invalidates automatically;
+    #: *in-place* pixel mutation must call :meth:`invalidate_digest`.
+    _digest_cache: "tuple[str, int | None] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def invalidate_digest(self) -> None:
+        """Drop the memoized content digest after mutating ``pixels``,
+        ``truth`` or ``metadata`` in place."""
+        self._digest_cache = None
 
     @property
     def raw_size(self) -> int:

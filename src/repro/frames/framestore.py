@@ -23,9 +23,15 @@ import itertools
 from collections import OrderedDict
 from typing import Any, Callable
 
-from ..errors import FrameStoreError
+from ..errors import FrameStoreError, StaleHandleError
+from .arena import EVICTED, RELEASED, ArenaHandle, FrameArena
 from .digest import content_digest
 from .frame import FrameRef, VideoFrame
+
+#: How many retired refs keep a tombstone recording *why* they died, so a
+#: stale dereference reports use-after-evict vs use-after-migrate vs
+#: double-release instead of a generic "unknown reference".
+TOMBSTONE_LIMIT = 1024
 
 #: An eviction hook: called as ``hook(store, needed_slots)`` when the store
 #: is full; it frees slots by releasing its own holds. The hook's return
@@ -74,6 +80,16 @@ class FrameStore:
         #: True while eviction hooks run; guards against hooks re-entering
         #: :meth:`put` mid-eviction (which would recurse into `_make_room`).
         self._evicting = False
+        #: The device's :class:`~repro.frames.arena.FrameArena`, or ``None``
+        #: when the shared-memory frame plane is off (see ``attach_arena``).
+        self.arena: FrameArena | None = None
+        #: ref_id -> arena handle for stored :class:`VideoFrame` planes.
+        self._handles: dict[int, ArenaHandle] = {}
+        #: live handle -> ref_id (reverse map; handles are frozen/hashable).
+        self._by_handle: dict[ArenaHandle, int] = {}
+        #: ref_id -> retire reason for recently deleted refs (bounded LRU);
+        #: lets ``_check`` raise a typed StaleHandleError naming the cause.
+        self._tombstones: OrderedDict[int, str] = OrderedDict()
         #: The home's :class:`~repro.audit.auditor.InvariantAuditor`, or
         #: ``None`` while auditing is off (set by ``watch_store``).
         self.auditor: Any = None
@@ -99,6 +115,57 @@ class FrameStore:
     def retained_count(self) -> int:
         """Zero-refcount objects kept as dedup targets."""
         return len(self._retained)
+
+    # -- shared-memory arena ---------------------------------------------------
+    def attach_arena(self, arena: FrameArena) -> None:
+        """Back this store's pixel planes with *arena*: every stored
+        :class:`VideoFrame` gets a generation-counted handle, and retired
+        refs raise :class:`~repro.errors.StaleHandleError` naming the
+        retire reason. Frames already stored are adopted in place."""
+        if arena.arena_id != self.device:
+            raise FrameStoreError(
+                f"arena {arena.arena_id!r} cannot back the store on"
+                f" {self.device!r} — the frame plane is device-local"
+            )
+        if self.arena is arena:
+            return
+        if self.arena is not None:
+            raise FrameStoreError(
+                f"store on {self.device!r} already has an arena attached"
+            )
+        self.arena = arena
+        for ref_id, obj in self._objects.items():
+            if isinstance(obj, VideoFrame) and ref_id not in self._handles:
+                handle = arena.alloc(obj.raw_size)
+                self._handles[ref_id] = handle
+                self._by_handle[handle] = ref_id
+
+    def handle_of(self, ref: FrameRef) -> ArenaHandle | None:
+        """The arena handle backing *ref*'s pixel plane (``None`` when no
+        arena is attached or the object is not a frame)."""
+        self._check(ref)
+        return self._handles.get(ref.ref_id)
+
+    def frame_by_handle(self, handle: ArenaHandle) -> Any:
+        """Resolve an arena handle straight to its frame, generation-checked.
+
+        This is the zero-copy path a co-located service replica uses: no
+        refcount traffic, no tree walk — just a generation check and a
+        dictionary hit. Stale handles raise
+        :class:`~repro.errors.StaleHandleError`."""
+        if self.arena is None:
+            raise FrameStoreError(
+                f"store on {self.device!r} has no arena attached"
+            )
+        self.arena.check(handle)
+        ref_id = self._by_handle.get(handle)
+        if ref_id is None:
+            raise StaleHandleError(
+                f"handle {handle} is live in the arena but unknown to the"
+                f" store on {self.device!r}", reason="unknown",
+            )
+        self.resolved_count += 1
+        return self._objects[ref_id]
 
     # -- core protocol -------------------------------------------------------
     def put(self, obj: Any) -> FrameRef:
@@ -137,6 +204,10 @@ class FrameStore:
         ref_id = next(self._ids)
         self._objects[ref_id] = obj
         self._refcounts[ref_id] = 1
+        if self.arena is not None and isinstance(obj, VideoFrame):
+            handle = self.arena.alloc(obj.raw_size)
+            self._handles[ref_id] = handle
+            self._by_handle[handle] = ref_id
         if digest is not None:
             self._digests[ref_id] = digest
             self._by_digest[digest] = ref_id
@@ -160,9 +231,14 @@ class FrameStore:
             self.auditor.on_ref_hold(self, ref.ref_id, self._refcounts[ref.ref_id])
         return ref
 
-    def release(self, ref: FrameRef) -> None:
+    def release(self, ref: FrameRef, reason: str = RELEASED) -> None:
         """Drop one hold; the object is reclaimed when the count hits zero
-        (or retained as a dedup target when dedup is on)."""
+        (or retained as a dedup target when dedup is on).
+
+        *reason* is the arena retire reason recorded if this release frees
+        the slot: :data:`~repro.frames.arena.RELEASED` for ordinary drops,
+        :data:`~repro.frames.arena.MIGRATED` when the frame is shipped to
+        another device (set by ``encode_refs_for_wire``)."""
         self._check(ref)
         ref_id = ref.ref_id
         self._refcounts[ref_id] -= 1
@@ -178,9 +254,9 @@ class FrameStore:
                 while len(self._retained) > self.retain_limit:
                     oldest, _ = self._retained.popitem(last=False)
                     self.retained_evictions += 1
-                    self._delete(oldest)
+                    self._delete(oldest, EVICTED)
             else:
-                self._delete(ref_id)
+                self._delete(ref_id, reason)
 
     def refcount(self, ref: FrameRef) -> int:
         self._check(ref)
@@ -256,7 +332,7 @@ class FrameStore:
         while self._retained and len(self._objects) >= self.capacity:
             oldest, _ = self._retained.popitem(last=False)
             self.retained_evictions += 1
-            self._delete(oldest)
+            self._delete(oldest, EVICTED)
 
     def _top_holders(self, limit: int = 5) -> str:
         """The highest-refcount entries, for the leak diagnostic."""
@@ -273,12 +349,20 @@ class FrameStore:
         )
 
     # -- helpers ---------------------------------------------------------------
-    def _delete(self, ref_id: int) -> None:
+    def _delete(self, ref_id: int, reason: str = RELEASED) -> None:
         del self._objects[ref_id]
         del self._refcounts[ref_id]
         digest = self._digests.pop(ref_id, None)
         if digest is not None and self._by_digest.get(digest) == ref_id:
             del self._by_digest[digest]
+        handle = self._handles.pop(ref_id, None)
+        if handle is not None:
+            self._by_handle.pop(handle, None)
+            if self.arena is not None:
+                self.arena.free(handle, reason)
+        self._tombstones[ref_id] = reason
+        while len(self._tombstones) > TOMBSTONE_LIMIT:
+            self._tombstones.popitem(last=False)
 
     def _check(self, ref: FrameRef) -> None:
         if ref.device != self.device:
@@ -287,6 +371,14 @@ class FrameStore:
                 f" is on {self.device!r} — frame refs never cross devices"
             )
         if ref.ref_id not in self._objects or ref.ref_id in self._retained:
+            reason = self._tombstones.get(ref.ref_id)
+            if reason is not None:
+                raise StaleHandleError(
+                    f"stale reference {ref}: the frame was {reason} after"
+                    " the last live handle was minted — use-after-"
+                    f"{'free' if reason == 'released' else reason}",
+                    reason=reason,
+                )
             raise FrameStoreError(f"unknown or already-released reference {ref}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from .arena import MIGRATED
 from .codec import EncodedFrame, decode_frame, encode_frame
 from .frame import FrameRef, VideoFrame
 from .framestore import FrameStore
@@ -43,16 +44,53 @@ def map_leaves(payload: Any, fn: Callable[[Any], Any]) -> Any:
     return fn(payload)
 
 
+def iter_leaves(payload: Any):
+    """Yield every non-container leaf of *payload* without rebuilding it.
+
+    The read-only companion to :func:`map_leaves`: an explicit-stack walk
+    that allocates nothing per node, so scans (``frame_refs_in``,
+    ``contains_type``) stop costing a full tree copy per hop.
+    """
+    stack = [payload]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            stack.extend(node.values())
+        elif isinstance(node, (list, tuple)):
+            stack.extend(node)
+        else:
+            yield node
+
+
+def contains_type(payload: Any, leaf_type: type) -> bool:
+    """True when any leaf is an instance of *leaf_type* (early exit — the
+    cheap pre-scan that lets boundary ops skip the rebuild entirely)."""
+    for leaf in iter_leaves(payload):
+        if isinstance(leaf, leaf_type):
+            return True
+    return False
+
+
 def collect_leaves(payload: Any, predicate: Callable[[Any], bool]) -> list[Any]:
     """All leaves for which *predicate* holds, in traversal order."""
-    found: list[Any] = []
-
-    def visit(leaf: Any) -> Any:
-        if predicate(leaf):
-            found.append(leaf)
-        return leaf
-
-    map_leaves(payload, visit)
+    if isinstance(payload, dict):
+        found: list[Any] = []
+        stack: list[Any] = list(reversed(list(payload.values())))
+    elif isinstance(payload, (list, tuple)):
+        found = []
+        stack = list(reversed(payload))
+    elif predicate(payload):
+        return [payload]
+    else:
+        return []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            stack.extend(reversed(list(node.values())))
+        elif isinstance(node, (list, tuple)):
+            stack.extend(reversed(node))
+        elif predicate(node):
+            found.append(node)
     return found
 
 
@@ -62,7 +100,11 @@ def frame_refs_in(payload: Any) -> list[FrameRef]:
 
 
 def resolve_refs(payload: Any, store: FrameStore) -> Any:
-    """Borrow: replace refs with the stored objects (no copy, no release)."""
+    """Borrow: replace refs with the stored objects (no copy, no release).
+
+    Frame-free payloads are returned as-is (identity, no rebuild)."""
+    if not contains_type(payload, FrameRef):
+        return payload
 
     def resolve(leaf: Any) -> Any:
         if isinstance(leaf, FrameRef):
@@ -83,8 +125,11 @@ def encode_refs_for_wire(
     keeps the caller's hold — service calls only borrow.
 
     Returns ``(wire_payload, total_encode_cost_s, frames_shipped)``. Refs to
-    non-frame objects are shipped as-is (they are plain values).
+    non-frame objects are shipped as-is (they are plain values). Frame-free
+    payloads short-circuit: the payload is returned unchanged at zero cost.
     """
+    if not contains_type(payload, FrameRef):
+        return payload, 0.0, 0
     total_cost = 0.0
     shipped = 0
 
@@ -93,7 +138,9 @@ def encode_refs_for_wire(
         if isinstance(leaf, FrameRef):
             obj = store.get(leaf)
             if release:
-                store.release(leaf)
+                # ownership moves with the message: the frame is migrating
+                # off-device, and any handle left behind must say so
+                store.release(leaf, reason=MIGRATED)
             if isinstance(obj, VideoFrame):
                 encoded = encode_frame(obj, quality=quality)
                 total_cost += encoded.encode_cost_s
@@ -111,7 +158,11 @@ def decode_frames_from_wire(
     """Land: decode arriving frames into the local store, yielding new refs.
 
     Returns ``(local_payload, total_decode_cost_s, frames_landed)``.
+    Payloads with no encoded frames (every intra-device hop) short-circuit
+    to identity at zero cost.
     """
+    if not contains_type(payload, EncodedFrame):
+        return payload, 0.0, 0
     total_cost = 0.0
     landed = 0
 
@@ -130,6 +181,8 @@ def decode_frames_inline(payload: Any) -> tuple[Any, float]:
     """Land without a store: decode arriving frames to bare
     :class:`VideoFrame` objects (used by remote service calls, where the
     frame is consumed immediately and never re-referenced)."""
+    if not contains_type(payload, EncodedFrame):
+        return payload, 0.0
     total_cost = 0.0
 
     def land(leaf: Any) -> Any:

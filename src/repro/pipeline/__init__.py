@@ -2,6 +2,7 @@
 
 from .config import (
     AuditConfig,
+    DataPlaneConfig,
     ModuleConfig,
     PerfConfig,
     PipelineConfig,
@@ -60,6 +61,7 @@ __all__ = [
     "plan_optimized",
     "ModuleConfig",
     "Pipeline",
+    "DataPlaneConfig",
     "PerfConfig",
     "PipelineConfig",
     "PlacementPlan",

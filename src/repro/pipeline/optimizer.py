@@ -260,11 +260,36 @@ class CostModel(PlacementModel):
             raise PlacementError(f"service {service_name!r} is hosted nowhere")
         return best[1]
 
+    def pool_contention_s(self, assignments: dict[str, str]) -> float:
+        """Live latency-equivalent seconds of shared-pool queueing this
+        candidate would feel: for every service call that lands on a pooled
+        host, the device pool's backlog-per-slot scaled by that call's
+        compute time. Fixed-replica hosts contribute nothing — their queues
+        are already modeled by the capacity term; a pooled device's real
+        wait is set by *everyone* queued on its shared slots."""
+        total = 0.0
+        for module_name, device_name in assignments.items():
+            module = self.config.module(module_name)
+            for service_name in module.services:
+                host = self.registry.host_on(service_name, device_name)
+                if host is None:
+                    host = self._best_remote_host(service_name, device_name)
+                pool = host.pool
+                if pool is None:
+                    continue
+                total += pool.contention() * host.device.spec.compute_time(
+                    host.service.reference_cost_s
+                )
+        return total
+
     def capacity_penalty(self, assignments: dict[str, str]) -> float:
         overload = sum(
             max(0.0, u - 1.0) for u in self.utilization(assignments).values()
         )
-        return self.optimizer.capacity_weight_s * overload
+        return (
+            self.optimizer.capacity_weight_s * overload
+            + self.pool_contention_s(assignments)
+        )
 
     def memory_penalty(self, assignments: dict[str, str]) -> float:
         counts: dict[str, int] = {}

@@ -23,6 +23,7 @@ from ..frames.payloads import (
 )
 from ..net.address import Address
 from ..net.message import H_TRACE, KIND_SIGNAL, Message
+from ..net.wire import ENVELOPE_OVERHEAD
 from ..net.transport import Transport
 from ..sim.kernel import Kernel
 from ..sim.resources import Store
@@ -191,7 +192,8 @@ class ModuleRuntime:
             )
         if local:
             message = self._build_message(
-                kind, payload, source_address, target_address, headers
+                kind, payload, source_address, target_address, headers,
+                local=True,
             )
             self._forward(message, done)
         else:
@@ -246,6 +248,11 @@ class ModuleRuntime:
                 # outlived the migration); account on the shared collector
                 wiring.metrics.frame_dropped(payload["frame_id"], self.kernel.now)
 
+    #: Charged bytes for one intra-device hop through the arena frame
+    #: plane: the envelope plus one ``(arena_id, offset, generation)``
+    #: handle tuple. The payload itself lives in shared memory.
+    ARENA_HOP_BYTES = ENVELOPE_OVERHEAD + 24
+
     def _build_message(
         self,
         kind: str,
@@ -253,6 +260,7 @@ class ModuleRuntime:
         source_address: Address,
         target_address: Address,
         headers: dict[str, Any],
+        local: bool = False,
     ) -> Message:
         wire_kind = KIND_SIGNAL if kind == READY_SIGNAL else kind
         headers = dict(headers)
@@ -260,12 +268,20 @@ class ModuleRuntime:
         # metadata stays outside the charged envelope (message.size_bytes is
         # fixed in __post_init__), so tracing cannot change wire timing
         trace = headers.pop(H_TRACE, None)
+        # with the arena frame plane on, an intra-device hop ships only a
+        # handle tuple over shared memory: zero charged payload bytes, and
+        # no per-hop payload-size tree walk at all
+        size = (
+            self.ARENA_HOP_BYTES
+            if local and self.device.arena is not None else 0
+        )
         message = Message(
             kind=wire_kind,
             dst=target_address,
             payload=payload,
             src=source_address,
             headers=headers,
+            size_bytes=size,
         )
         message.headers["event_kind"] = kind
         if trace is not None:

@@ -26,6 +26,7 @@ from .builtin import (
     RepCounterService,
 )
 from .host import ServiceHost
+from .pool import PoolLease, ReplicaPool
 from .registry import ServiceRegistry
 from .scaling import AutoScaler, ScalingEvent, ScalingPolicy
 from .stubs import (
@@ -57,8 +58,10 @@ __all__ = [
     "MISS",
     "ObjectDetectionService",
     "ObjectTrackingService",
+    "PoolLease",
     "PoseDetectorService",
     "RemoteServiceStub",
+    "ReplicaPool",
     "RepCounterService",
     "ResultCache",
     "ScalingEvent",

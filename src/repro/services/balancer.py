@@ -47,6 +47,18 @@ def expected_service_time(
     )
 
 
+def pool_contention_s(host: ServiceHost) -> float:
+    """Expected extra queueing seconds from shared-pool contention on a
+    pooled host: the device pool's backlog-per-slot scaled by this
+    service's own compute time. 0.0 on fixed-replica hosts — their queues
+    are already visible as ``queue_length``; a pooled host's real wait is
+    set by *everyone* queued on the device's shared slots."""
+    pool = host.pool
+    if pool is None:
+        return 0.0
+    return pool.contention() * expected_service_time(host)
+
+
 def expected_call_cost(
     host: ServiceHost,
     caller_device,
@@ -54,10 +66,11 @@ def expected_call_cost(
     payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
 ) -> float:
     """Expected seconds for one call on *host* as seen from the caller:
-    service time plus the two-way network transfer (zero when co-located).
-    An unresolvable route (mid-partition) is charged a pessimistic 0.5 s
-    rather than raised — selection should route *around* the partition."""
-    cost = expected_service_time(host)
+    service time plus pool contention (on pooled hosts) plus the two-way
+    network transfer (zero when co-located). An unresolvable route
+    (mid-partition) is charged a pessimistic 0.5 s rather than raised —
+    selection should route *around* the partition."""
+    cost = expected_service_time(host) + pool_contention_s(host)
     if host.device.name == caller_device.name:
         return cost
     try:
@@ -82,7 +95,9 @@ def service_pressure(registry: ServiceRegistry, service_name: str) -> float:
     overload detector reads this as its queue probe — sustained positive
     pressure on a service a pipeline calls is queueing delay that will show
     up in that pipeline's tail latency. An unknown service reads 0.0 (the
-    pipeline calls nothing that can queue)."""
+    pipeline calls nothing that can queue). Pooled hosts report through the
+    same surface: ``queue_length`` is the lease's own waiting requests and
+    ``busy_workers - replicas`` is slots borrowed beyond the share."""
     pressure = 0.0
     for host in registry.hosts_of(service_name):
         if not host_is_live(host):
@@ -128,9 +143,12 @@ def select_host(
     if policy == FASTEST:
         return min(hosts, key=lambda h: (expected_service_time(h), h.device.name))
     if policy == LEAST_LOADED:
+        # a pooled host's effective backlog includes the device pool's
+        # shared-slot contention, not just its own lease queue
         return min(
             hosts,
-            key=lambda h: (h.queue_length + h.busy_workers - h.replicas,
+            key=lambda h: (h.queue_length + h.busy_workers - h.replicas
+                           + (h.pool.backlog if h.pool is not None else 0),
                            expected_service_time(h), h.device.name),
         )
     if policy == COST_AWARE:

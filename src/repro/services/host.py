@@ -89,6 +89,11 @@ class ServiceHost:
         self.workers = Resource(
             kernel, replicas, name=f"{device.name}.{service.name}.workers"
         )
+        #: The device's shared :class:`~repro.services.pool.ReplicaPool`
+        #: when pooled parallelism is on; ``workers`` is then a
+        #: :class:`~repro.services.pool.PoolLease` instead of a private
+        #: Resource (see :meth:`attach_pool`).
+        self.pool: Any = None
         self.address = Address(device.name, port or service.default_port)
         self._rpc = RpcServer(kernel, transport, self.address, self._handle_remote)
         self._ctx = ServiceCallContext(
@@ -141,9 +146,41 @@ class ServiceHost:
     def replicas(self) -> int:
         return self.workers.capacity
 
+    def attach_pool(self, pool: Any) -> None:
+        """Switch this host to pool-based parallelism: its private worker
+        Resource is replaced by a :class:`~repro.services.pool.PoolLease`
+        on the device's shared pool, with the configured replica count as
+        the initial share. Requires an idle host (no busy workers, no
+        queued or batch-pending requests) so no grant straddles the swap.
+        Idempotent for the same pool."""
+        if self.pool is pool:
+            return
+        if self.pool is not None:
+            raise ServiceError(
+                f"{self.service_name}@{self.device.name} is already attached"
+                " to a replica pool"
+            )
+        if pool.device_name != self.device.name:
+            raise ServiceError(
+                f"pool on {pool.device_name!r} cannot back"
+                f" {self.service_name}@{self.device.name} — replica pools"
+                " are device-local"
+            )
+        if (self.workers.in_use or self.workers.queue_length
+                or self._batch_pending):
+            raise ServiceError(
+                f"attach_pool() requires an idle host;"
+                f" {self.service_name}@{self.device.name} has"
+                f" {self.workers.in_use} busy worker(s) and"
+                f" {self.queue_length} queued request(s)"
+            )
+        self.pool = pool
+        self.workers = pool.attach(self, share=self._replica_target)
+
     def add_replica(self, count: int = 1) -> None:
         """Horizontal scaling: add worker replicas (stateless, so trivial —
-        the property the paper's design buys)."""
+        the property the paper's design buys). On a pooled host this raises
+        the service's *share* of the device pool."""
         self._replica_target += count
         self.workers.grow(count)
 
@@ -365,9 +402,10 @@ class ServiceHost:
             return
         finally:
             self._inflight.pop(done, None)
-            # a grant from a pre-crash worker pool dies with that pool
-            if (grant is not None and not grant.released
-                    and grant.resource is self.workers):
+            # a grant from a discarded pre-crash worker pool dies with that
+            # pool; a pooled lease keeps owning pre-crash grants so the
+            # shared slot always comes back
+            if grant is not None and self.workers.owns(grant):
                 self.workers.release(grant)
             if self._batch_pending:  # batching was enabled mid-flight
                 self._pump_batches()
@@ -552,9 +590,10 @@ class ServiceHost:
         finally:
             for done in dones:
                 self._inflight.pop(done, None)
-            # a grant from a pre-crash worker pool dies with that pool
-            if (grant is not None and not grant.released
-                    and grant.resource is self.workers):
+            # a grant from a discarded pre-crash worker pool dies with that
+            # pool; a pooled lease keeps owning pre-crash grants so the
+            # shared slot always comes back
+            if grant is not None and self.workers.owns(grant):
                 self.workers.release(grant)
             self._pump_batches()
         now = self.kernel.now
@@ -588,10 +627,16 @@ class ServiceHost:
         # conservative: a restarted process may come back with a different
         # model revision, so cached results do not survive the crash
         self.invalidate_cache()
-        self.workers = Resource(
-            self.kernel, self._replica_target,
-            name=f"{self.device.name}.{self.service_name}.workers",
-        )
+        if self.pool is not None:
+            # the pool is shared — never discarded. Not-yet-granted requests
+            # are revoked (their slots bounce back on grant); grants already
+            # held stay owned so the interrupted calls' cleanup releases them.
+            self.workers.revoke_pending()
+        else:
+            self.workers = Resource(
+                self.kernel, self._replica_target,
+                name=f"{self.device.name}.{self.service_name}.workers",
+            )
 
     def restart(self) -> None:
         """Bring a crashed host back: rebind the RPC endpoint. Idempotent;
@@ -633,6 +678,9 @@ class ServiceHost:
         self._drop_batch_pending(
             f"{self.service_name}@{self.device.name} closed"
         )
+        if self.pool is not None:
+            self.workers.revoke_pending()
+            self.pool.detach(self.service_name)
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -108,6 +108,15 @@ class Resource:
             heapq.heappush(self._waiting, (priority, grant.id, sig, grant))
         return sig
 
+    def owns(self, grant: Grant) -> bool:
+        """True when *grant* was issued by this resource and is still held.
+
+        The guard cleanup paths use before releasing: a grant from a
+        discarded pre-crash pool (or another resource entirely) must not be
+        returned here. :class:`~repro.services.pool.PoolLease` duck-types
+        this for leased grants."""
+        return grant.resource is self and not grant.released
+
     def release(self, grant: Grant) -> None:
         """Return a slot to the pool and wake the next waiter, if any."""
         if grant.resource is not self:

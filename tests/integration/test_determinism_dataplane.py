@@ -1,0 +1,89 @@
+"""Integration: the zero-copy data plane is deterministic and auditable.
+
+The arena and the replica pool sit on the hottest paths in the home
+(every intra-device hop, every service dispatch), so they get the same
+treatment as the fast path: run twice under the event tap and require
+bit-for-bit identical streams, and prove the all-off config is a strict
+no-op against a home that never enabled it.
+"""
+
+from repro.audit import InvariantAuditor
+from repro.audit.determinism import record_scenario
+from repro.audit.scenarios import DURATION_S, _activity_recognizer, _run
+from repro.core import VideoPipe
+from repro.pipeline import DataPlaneConfig
+
+
+def _fitness_scenario(data_plane=None):
+    """quickstart's shape with an optional data-plane config applied."""
+
+    def scenario(seed):
+        from repro.apps import (
+            FitnessApp,
+            fitness_pipeline_config,
+            install_fitness_services,
+        )
+
+        home = VideoPipe.paper_testbed(seed=seed)
+        if data_plane is not None:
+            home.enable_data_plane(data_plane)
+        services = install_fitness_services(
+            home, recognizer=_activity_recognizer())
+        app = FitnessApp(home, services)
+        pipeline = app.deploy(
+            fitness_pipeline_config(fps=10.0, duration_s=DURATION_S))
+        base_run = _run(home, pipeline)
+
+        def run_fn():
+            result = base_run()
+            result["data_plane"] = home.data_plane_stats()
+            return result
+
+        return home, run_fn
+
+    return scenario
+
+
+def test_data_plane_scenario_is_deterministic(assert_deterministic):
+    report = assert_deterministic(
+        _fitness_scenario(DataPlaneConfig()), seed=7, name="data_plane")
+    assert report.event_count > 500  # the scenario actually exercised the home
+
+
+def test_all_off_config_replays_bitforbit(assert_deterministic):
+    """enable_data_plane with everything off must leave no trace: the
+    fingerprint matches a home that never called it."""
+    plain = record_scenario(_fitness_scenario(), 7)
+    noop = record_scenario(
+        _fitness_scenario(DataPlaneConfig(arena=False, replica_pool=False)), 7)
+    assert plain.fingerprint == noop.fingerprint
+
+
+def test_audited_data_plane_run_is_clean():
+    """A full fitness run with arena + pool under the auditor: frames
+    complete, the arena drains, and no conservation law fires."""
+    from repro.apps import (
+        FitnessApp,
+        fitness_pipeline_config,
+        install_fitness_services,
+    )
+
+    home = VideoPipe.paper_testbed(seed=7)
+    auditor = InvariantAuditor(home.kernel)
+    home.enable_audit(auditor)
+    home.enable_data_plane()
+    services = install_fitness_services(home, recognizer=_activity_recognizer())
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(
+        fitness_pipeline_config(fps=10.0, duration_s=DURATION_S))
+    home.run(until=DURATION_S + 1.0)
+    assert pipeline.metrics.counter("frames_completed") > 0
+    stats = home.data_plane_stats()
+    assert stats["arena"]["allocs"] > 0
+    assert stats["arena"]["stale_accesses"] == 0
+    assert stats["pool"]["grants"] > 0
+    if home.kernel.pending_events == 0:
+        auditor.check_quiesce()
+    else:
+        auditor.check_now()
+    assert not auditor.violations, auditor.report()

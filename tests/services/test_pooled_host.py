@@ -1,0 +1,153 @@
+"""Service hosts drawing workers from the shared device pool."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.services import FunctionService, ServiceHost
+from repro.services.pool import ReplicaPool
+
+
+def echo_service(name="echo", cost=0.010):
+    return FunctionService(name, lambda payload, ctx: payload,
+                           reference_cost_s=cost)
+
+
+def pooled_host(home, service, slots=2, replicas=1):
+    pool = home.desktop.enable_replica_pool(slots=slots)
+    host = ServiceHost(home.kernel, home.desktop, service, home.transport,
+                       replicas=replicas)
+    host.attach_pool(pool)
+    return host, pool
+
+
+class TestAttachment:
+    def test_attach_swaps_workers_for_a_lease(self, home):
+        host, pool = pooled_host(home, echo_service())
+        assert host.pool is pool
+        assert host.replicas == 1  # replicas now reads the pool share
+        assert pool.leases["echo"].share == 1
+
+    def test_attach_rejects_cross_device_pool(self, home):
+        foreign = ReplicaPool(home.kernel, "phone", 2)
+        host = ServiceHost(home.kernel, home.desktop, echo_service(),
+                           home.transport)
+        with pytest.raises(ServiceError, match="device"):
+            host.attach_pool(foreign)
+
+    def test_attach_rejects_busy_host(self, home):
+        host = ServiceHost(home.kernel, home.desktop, echo_service(cost=0.050),
+                           home.transport)
+        host.call_local({})
+        pool = ReplicaPool(home.kernel, "desktop", 2)
+        captured = {}
+
+        def attempt():  # mid-call: a worker is busy
+            try:
+                host.attach_pool(pool)
+            except ServiceError as exc:
+                captured["error"] = exc
+
+        home.kernel.schedule(0.010, attempt)
+        home.kernel.run()
+        assert "idle" in str(captured["error"])
+
+    def test_attach_is_idempotent_for_the_same_pool(self, home):
+        host, pool = pooled_host(home, echo_service())
+        host.attach_pool(pool)
+        assert host.pool is pool
+
+    def test_enable_replica_pool_attaches_existing_hosts(self, home):
+        host = ServiceHost(home.kernel, home.desktop, echo_service(),
+                           home.transport)
+        home.desktop.service_hosts["echo"] = host
+        pool = home.desktop.enable_replica_pool(slots=4)
+        assert host.pool is pool
+
+
+class TestPooledExecution:
+    def test_two_services_share_the_device_slots(self, home):
+        """The pooled win: one busy service borrows the other's idle slot."""
+        pool = home.desktop.enable_replica_pool(slots=2)
+        busy = ServiceHost(home.kernel, home.desktop,
+                           echo_service("busy", cost=0.050), home.transport,
+                           port=7901)
+        idle = ServiceHost(home.kernel, home.desktop,
+                           echo_service("idle", cost=0.050), home.transport,
+                           port=7902)
+        busy.attach_pool(pool)
+        idle.attach_pool(pool)
+        first = busy.call_local({})
+        second = busy.call_local({})
+        home.kernel.run()
+        assert first.succeeded and second.succeeded
+        # share is 1 each, but the idle host's slot was borrowed: parallel
+        assert home.kernel.now < 0.080
+        assert pool.borrowed_total == 1
+
+    def test_fixed_split_baseline_serializes(self, home):
+        """Without the pool the same load runs one-at-a-time."""
+        host = ServiceHost(home.kernel, home.desktop,
+                           echo_service(cost=0.050), home.transport,
+                           replicas=1)
+        first = host.call_local({})
+        second = host.call_local({})
+        home.kernel.run()
+        assert first.succeeded and second.succeeded
+        assert home.kernel.now >= 0.090
+
+    def test_autoscaler_grow_path_raises_share(self, home):
+        host, pool = pooled_host(home, echo_service(), slots=2)
+        host.add_replica(2)  # what AutoScaler/SLO ladder actuate
+        assert host.replicas == 3
+        assert pool.leases["echo"].share == 3
+        assert pool.slots.capacity == 3  # scaling up adds real capacity
+        host.remove_replica(2)
+        assert host.replicas == 1
+        assert pool.slots.capacity == 2
+
+    def test_queue_pressure_reads_through_the_lease(self, home):
+        host, pool = pooled_host(home, echo_service(cost=0.050), slots=1)
+        host.call_local({})
+        host.call_local({})
+        seen = {}
+
+        def probe():  # mid-run: one call executing, one queued
+            seen["busy"] = host.busy_workers
+            seen["queued"] = host.queue_length
+            seen["backlog"] = pool.backlog
+
+        home.kernel.schedule(0.010, probe)
+        home.kernel.run()
+        assert seen == {"busy": 1, "queued": 1, "backlog": 1}
+        assert host.queue_length == 0
+
+
+class TestPooledCrash:
+    def test_crash_drops_queued_work_but_keeps_the_pool(self, home):
+        host, pool = pooled_host(home, echo_service(cost=0.050), slots=1)
+        first = host.call_local({})
+        second = host.call_local({})
+
+        def crash():
+            host.crash()
+
+        home.kernel.schedule(0.010, crash)
+        home.kernel.run()
+        assert not first.succeeded and not second.succeeded
+        # every slot found its way back to the shared pool
+        assert pool.slots.in_use == 0
+        assert host.pool is pool
+
+    def test_restart_after_crash_serves_again(self, home):
+        host, pool = pooled_host(home, echo_service(), slots=2)
+        host.crash()
+        host.restart()
+        done = host.call_local({})
+        home.kernel.run()
+        assert done.succeeded
+        assert pool.slots.in_use == 0
+
+    def test_close_detaches_the_lease(self, home):
+        host, pool = pooled_host(home, echo_service(), slots=2)
+        host.close()
+        assert "echo" not in pool.leases
