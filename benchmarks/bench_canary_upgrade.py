@@ -1,0 +1,179 @@
+"""Live operations — hot module upgrade under load, canary-judged.
+
+The uniform runtime (§1) makes a module replaceable on a running pipeline;
+this benchmark measures the whole live-ops loop on the fitness pipeline at
+8 FPS, with the invariant auditor watching:
+
+* **healthy arm** — v2 of the pose-detector module is deployed beside v1,
+  live frames are mirrored to it off the credit path, and the canary
+  judge auto-promotes it into v1's address. Zero frame loss, auditor
+  verified.
+* **slow arm** — v2 with injected per-event overhead cannot keep up with
+  the mirrored traffic; the judge auto-rolls it back and v1 keeps
+  serving untouched.
+* **idle arm** — live-ops enabled but never used is bit-for-bit identical
+  to a run without it (lineage/mirroring are passive observers).
+
+Set ``REPRO_LIVEOPS_OUT`` to persist the verdicts and a per-frame lineage
+sample as a JSON artifact (CI uploads it; ``tools/bench_compare.py``
+guards the healthy arm against drift).
+"""
+
+import json
+import os
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.apps.modules import PoseDetectionModule
+from repro.core import VideoPipe
+from repro.liveops import PROMOTED, ROLLED_BACK, CanaryPolicy
+from repro.metrics import format_table
+
+from .conftest import DURATION_S, FAST, WARMUP_S
+
+MODULE = "pose_detector_module"
+FPS = 8.0
+UPGRADE_AT_S = WARMUP_S + 1.0
+END_S = DURATION_S + 1.0
+
+
+def build_home(recognizer, liveops=True, audit=True):
+    home = VideoPipe.paper_testbed(seed=11)
+    if audit:
+        home.enable_audit()
+    if liveops:
+        home.enable_liveops()
+    services = install_fitness_services(home, recognizer=recognizer)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(fitness_pipeline_config(fps=FPS,
+                                                  duration_s=DURATION_S))
+    return home, pipeline
+
+
+def run_arm(recognizer, slow_candidate=False):
+    home, pipeline = build_home(recognizer)
+    home.run(until=UPGRADE_AT_S)
+    candidate = None
+    if slow_candidate:
+        candidate = PoseDetectionModule()
+        candidate.event_overhead_s = 0.5  # injected: cannot keep 8 FPS
+    upgrade = home.upgrade_module(
+        pipeline, MODULE, module_instance=candidate,
+        policy=CanaryPolicy(min_mirrored=5, decision_timeout_s=6.0),
+    )
+    home.run(until=END_S)
+    violations = home.check_invariants()
+    shadow = upgrade.shadow_metrics
+    return {
+        "state": upgrade.state,
+        "reason": upgrade.reason,
+        "decision_latency_s": round(upgrade.decided_at - upgrade.started_at, 3),
+        "live_version": pipeline.wiring.version_of(MODULE),
+        "mirrored_frames": upgrade.mirrored_frames,
+        "mirror_completed": shadow.counter("frames_completed"),
+        "mirror_dropped": shadow.counter("frames_dropped"),
+        "frames_completed": pipeline.metrics.counter("frames_completed"),
+        "frames_dropped": pipeline.metrics.counter("frames_dropped"),
+        "fps": pipeline.metrics.throughput_fps(END_S, WARMUP_S),
+        "audit_violations": len(violations),
+        "_home": home,
+        "_pipeline": pipeline,
+    }
+
+
+def fingerprint(pipeline):
+    metrics = pipeline.metrics
+    return (
+        metrics.counter("frames_entered"),
+        metrics.counter("frames_completed"),
+        metrics.counter("frames_dropped"),
+        tuple(metrics.total_latencies),
+    )
+
+
+def test_canary_upgrade(benchmark, tmp_path, fitness_recognizer):
+    results = {}
+
+    def run():
+        results["healthy"] = run_arm(fitness_recognizer)
+        results["slow"] = run_arm(fitness_recognizer, slow_candidate=True)
+        # idle arm: liveops on but unused vs entirely off
+        home_off, pipe_off = build_home(fitness_recognizer, liveops=False,
+                                        audit=False)
+        home_off.run(until=END_S)
+        home_idle, pipe_idle = build_home(fitness_recognizer, audit=False)
+        home_idle.run(until=END_S)
+        results["idle_identical"] = (
+            fingerprint(pipe_idle) == fingerprint(pipe_off)
+        )
+        results["_lineage"] = home_idle.liveops.lineage
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    healthy, slow = results["healthy"], results["slow"]
+    print()
+    print(format_table(
+        ["arm", "verdict", "decision (s)", "mirrored", "live FPS",
+         "frames lost", "audit"],
+        [["healthy v2", healthy["state"], healthy["decision_latency_s"],
+          healthy["mirrored_frames"], round(healthy["fps"], 2),
+          healthy["frames_dropped"],
+          "clean" if not healthy["audit_violations"] else "VIOLATED"],
+         ["slow v2 (+500ms/event)", slow["state"],
+          slow["decision_latency_s"], slow["mirrored_frames"],
+          round(slow["fps"], 2), slow["frames_dropped"],
+          "clean" if not slow["audit_violations"] else "VIOLATED"]],
+        title=f"Hot upgrade of {MODULE} under {FPS:g} FPS load",
+    ))
+    print(f"  idle live-ops bit-identical to disabled:"
+          f" {results['idle_identical']}")
+
+    lineage = results["_lineage"]
+    sample_key = next(iter(lineage._records), None)
+    lineage_sample = (
+        {"pipeline": sample_key[0], "frame_id": sample_key[1],
+         "path": lineage.path_of(*sample_key)}
+        if sample_key else None
+    )
+    artifact = os.environ.get(
+        "REPRO_LIVEOPS_OUT", str(tmp_path / "canary_upgrade.json")
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(artifact)), exist_ok=True)
+    payload = {
+        "module": MODULE, "fps": FPS, "upgrade_at_s": UPGRADE_AT_S,
+        "healthy": {k: v for k, v in healthy.items()
+                    if not k.startswith("_")},
+        "slow": {k: v for k, v in slow.items() if not k.startswith("_")},
+        "idle_identical": results["idle_identical"],
+        "lineage_sample": lineage_sample,
+        "lineage_frames_recorded": lineage.frame_count,
+        "fast_mode": FAST,
+    }
+    with open(artifact, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    benchmark.extra_info["healthy_state"] = healthy["state"]
+    benchmark.extra_info["slow_state"] = slow["state"]
+    benchmark.extra_info["decision_latency_s"] = healthy["decision_latency_s"]
+
+    # verdicts and conservation hold even in smoke mode
+    assert healthy["state"] == PROMOTED, healthy["reason"]
+    assert healthy["live_version"] == "v2"
+    assert slow["state"] == ROLLED_BACK, slow["reason"]
+    assert slow["live_version"] == "v1"
+    for arm in (healthy, slow):
+        assert arm["frames_dropped"] == 0, "live pipeline lost a frame"
+        assert arm["audit_violations"] == 0, \
+            arm["_home"].auditor.report()
+        assert arm["mirrored_frames"] == (
+            arm["mirror_completed"] + arm["mirror_dropped"]
+        )
+    assert results["idle_identical"]
+    if FAST:
+        return
+    # full window: the promoted pipeline sustains the source rate
+    assert healthy["fps"] > FPS * 0.9

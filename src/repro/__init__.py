@@ -51,6 +51,7 @@ from .errors import (
     StaleHandleError,
 )
 from .faults import ChaosInjector, FaultEvent, FaultPlan
+from .liveops import CanaryPolicy, LineageRecorder, LiveOpsManager, ModuleUpgrade
 from .pipeline import (
     AuditConfig,
     DataPlaneConfig,
@@ -72,6 +73,7 @@ __all__ = [
     "AdmissionError",
     "AuditConfig",
     "AuditError",
+    "CanaryPolicy",
     "ChaosInjector",
     "ConfigError",
     "DeploymentError",
@@ -81,10 +83,13 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FrameStoreError",
+    "LineageRecorder",
+    "LiveOpsManager",
     "Module",
     "ModuleConfig",
     "ModuleContext",
     "ModuleEvent",
+    "ModuleUpgrade",
     "NetworkError",
     "Pipeline",
     "PerfConfig",

@@ -36,7 +36,13 @@ Invariants covered (see ``docs/AUDIT.md`` for the full statement of each):
   exactly reverse order);
 * **admission conservation** — ``deploys_requested == deploys_deployed +
   deploys_rejected + deploys_withdrawn + queued-now``: no deploy request
-  vanishes between admission control and the deployer.
+  vanishes between admission control and the deployer;
+* **live-ops version swaps** per :class:`~repro.liveops.upgrade
+  .LiveOpsManager` — every hot upgrade started is either still mirroring,
+  promoted, or rolled back (none vanish), a finished upgrade leaves
+  exactly one version of the module deployed under the right version
+  label, and every frame the mirror tap copied was admitted on the shadow
+  collector.
 
 Auditing is *passive*: the auditor never schedules kernel events, never
 consumes randomness, and never touches message sizes, so an audited run is
@@ -90,7 +96,8 @@ class Violation:
             ``arena-conservation``, ``arena-stale-access``,
             ``message-conservation``, ``kernel-hygiene``,
             ``metrics-conservation``, ``autoscaler-pacing``,
-            ``slo-ladder``, ``admission-conservation``, ``rpc-quiesce``).
+            ``slo-ladder``, ``admission-conservation``, ``rpc-quiesce``,
+            ``liveops-version-swap``, ``liveops-conservation``).
         subject: the component involved (store device, transport class,
             collector name, service@device).
         detail: an actionable description — what was expected, what was
@@ -152,6 +159,15 @@ class _SloState:
 
 
 @dataclass(slots=True)
+class _LiveOpsState:
+    """The auditor's mirror of one live-ops manager's upgrade ledger."""
+
+    started: int = 0
+    promoted: int = 0
+    rolled_back: int = 0
+
+
+@dataclass(slots=True)
 class _MetricsState:
     """Baseline counters and the admitted-frame mirror for one collector."""
 
@@ -201,6 +217,7 @@ class InvariantAuditor:
         self._metrics: dict[int, tuple["MetricsCollector", _MetricsState]] = {}
         self._scalers: dict[int, tuple["AutoScaler", dict]] = {}
         self._slo: dict[int, tuple["SLOController", "_SloState"]] = {}
+        self._liveops: dict[int, tuple[Any, _LiveOpsState]] = {}
         self._rpc_clients: list["RpcClient"] = []
         self._last_exec_time: float | None = None
         self._kernel_attached = False
@@ -642,6 +659,104 @@ class InvariantAuditor:
                     " applied or reverted without a recorded action",
                 )
 
+    # -- live-ops version swaps ---------------------------------------------------------
+    def watch_liveops(self, manager: Any) -> None:
+        """Check the version-swap conservation law on *manager*: every
+        upgrade started either promotes, rolls back, or is still mirroring
+        — and a finished upgrade leaves exactly one version of the module
+        deployed, under the right version label."""
+        if id(manager) in self._liveops:
+            return
+        manager.auditor = self
+        state = _LiveOpsState()
+        # a manager watched mid-run starts with its ledger mirrored as-is
+        for upgrade in manager.upgrades:
+            state.started += 1
+            if upgrade.state == "promoted":
+                state.promoted += 1
+            elif upgrade.state == "rolled_back":
+                state.rolled_back += 1
+        self._liveops[id(manager)] = (manager, state)
+
+    def on_upgrade_started(self, manager: Any, upgrade: Any) -> None:
+        entry = self._liveops.get(id(manager))
+        if entry is not None:
+            entry[1].started += 1
+
+    def on_upgrade_finished(self, manager: Any, upgrade: Any) -> None:
+        entry = self._liveops.get(id(manager))
+        if entry is None:
+            return
+        state = entry[1]
+        subject = f"liveops/{upgrade.pipeline.name}/{upgrade.module_name}"
+        if upgrade.state == "promoted":
+            state.promoted += 1
+        elif upgrade.state == "rolled_back":
+            state.rolled_back += 1
+        else:
+            self.record(
+                "liveops-version-swap",
+                subject,
+                f"upgrade finished in state {upgrade.state!r}; every finish"
+                " must be a promotion or a rollback",
+            )
+            return
+        # exactly one version of the module may remain live: the shadow
+        # deployment and its sink must be gone, the real name deployed
+        runtime = upgrade.pipeline.module(upgrade.module_name).runtime
+        deployed_names = set(runtime.deployed_names())
+        for ghost in (upgrade.shadow_name, upgrade.sink_name):
+            if ghost in deployed_names:
+                self.record(
+                    "liveops-version-swap",
+                    subject,
+                    f"shadow deployment {ghost!r} still live after the"
+                    f" upgrade {upgrade.state}; promotion/rollback must"
+                    " retire the canary",
+                )
+        if upgrade.module_name not in deployed_names:
+            self.record(
+                "liveops-version-swap",
+                subject,
+                f"module {upgrade.module_name!r} is not deployed after the"
+                f" upgrade {upgrade.state} — the swap dropped the module",
+            )
+        expected = (
+            upgrade.to_version if upgrade.state == "promoted"
+            else upgrade.from_version
+        )
+        labeled = upgrade.pipeline.wiring.version_of(upgrade.module_name)
+        if labeled != expected:
+            self.record(
+                "liveops-version-swap",
+                subject,
+                f"wiring labels {upgrade.module_name!r} as {labeled!r} after"
+                f" a {upgrade.state} upgrade; expected {expected!r}",
+            )
+        shadow = upgrade.shadow_metrics
+        if shadow is not None and upgrade.mirrored_frames != (
+            shadow.counter("frames_entered")
+        ):
+            self.record(
+                "liveops-version-swap",
+                subject,
+                f"mirror tap copied {upgrade.mirrored_frames} frame(s) but"
+                f" the shadow collector admitted"
+                f" {shadow.counter('frames_entered')} — a mirrored frame"
+                " bypassed shadow accounting",
+            )
+
+    def _check_liveops(self, manager: Any, state: _LiveOpsState) -> None:
+        active = len(manager.active_upgrades())
+        if state.started != active + state.promoted + state.rolled_back:
+            self.record(
+                "liveops-conservation",
+                "liveops/manager",
+                f"started ({state.started}) != active ({active}) + promoted"
+                f" ({state.promoted}) + rolled-back ({state.rolled_back}) —"
+                " an upgrade vanished without a verdict",
+            )
+
     # -- rpc quiesce -----------------------------------------------------------------
     def watch_rpc(self, client: "RpcClient") -> None:
         """At quiesce, *client* must have no orphaned pending requests."""
@@ -664,6 +779,8 @@ class InvariantAuditor:
             self._check_metrics(collector, state)
         for controller, state in self._slo.values():
             self._check_slo(controller, state)
+        for manager, state in self._liveops.values():
+            self._check_liveops(manager, state)
         return self.violations[start:]
 
     def check_quiesce(self) -> list[Violation]:

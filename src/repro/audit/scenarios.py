@@ -386,6 +386,37 @@ def chaos_fitness(seed: int):
     return home, run_fn
 
 
+def canary_upgrade(seed: int):
+    """examples/canary_upgrade.py: hot v1 -> v2 pose-detector upgrade,
+    judged on mirrored live traffic, auto-promoted mid-stream."""
+    from ..liveops import CanaryPolicy
+
+    home = VideoPipe.paper_testbed(seed=seed)
+    home.enable_liveops()
+    _, pipeline = _deploy_fitness(home)
+    base_run = _run(home, pipeline)
+
+    def run_fn() -> dict:
+        home.run(until=1.5)
+        upgrade = home.upgrade_module(
+            pipeline, "pose_detector_module",
+            policy=CanaryPolicy(min_mirrored=4, decision_timeout_s=3.0),
+        )
+        result = base_run()
+        result["upgrade"] = {
+            "state": upgrade.state,
+            "mirrored_frames": upgrade.mirrored_frames,
+            "decided_at": upgrade.decided_at,
+            "live_version": pipeline.wiring.version_of(
+                "pose_detector_module"
+            ),
+        }
+        result["lineage_frames"] = home.liveops.lineage.frame_count
+        return result
+
+    return home, run_fn
+
+
 #: example filename -> scenario; the coverage test keeps this exhaustive.
 EXAMPLE_SCENARIOS = {
     "quickstart.py": quickstart,
@@ -396,4 +427,5 @@ EXAMPLE_SCENARIOS = {
     "monitoring_autoscaling.py": monitoring_autoscaling,
     "object_tracking.py": object_tracking,
     "chaos_fitness.py": chaos_fitness,
+    "canary_upgrade.py": canary_upgrade,
 }

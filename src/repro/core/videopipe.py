@@ -26,6 +26,8 @@ from ..devices.spec import DeviceSpec
 from ..errors import AdmissionError, ConfigError, DeviceError
 from ..faults.injector import ChaosInjector
 from ..faults.plan import FaultPlan
+from ..liveops.policy import CanaryPolicy
+from ..liveops.upgrade import LiveOpsManager, ModuleUpgrade
 from ..monitor.failure_detector import (
     FailureDetector,
     HeartbeatResponder,
@@ -126,6 +128,7 @@ class VideoPipe:
         self.tracer: TraceRecorder | None = None
         self.auditor: InvariantAuditor | None = None
         self.slo: SLOController | None = None
+        self.liveops: LiveOpsManager | None = None
         #: SLOs declared at deploy time before enable_slo() was called
         self._pending_slos: dict[str, SLO] = {}
         self.pipelines: list[Pipeline] = []
@@ -472,6 +475,8 @@ class VideoPipe:
                 self.auditor.watch_autoscaler(self.autoscaler)
             if self.slo is not None:
                 self.auditor.watch_slo(self.slo)
+            if self.liveops is not None:
+                self.auditor.watch_liveops(self.liveops)
             if self.monitor is not None:
                 self.monitor.add_probe("audit", audit_probe(self.auditor))
         return self.auditor
@@ -581,6 +586,64 @@ class VideoPipe:
                 self.monitor.add_probe("slo", slo_probe(self.slo))
             self.slo.start()
         return self.slo
+
+    # -- live operations -----------------------------------------------------------
+    def enable_liveops(self, policy: CanaryPolicy | None = None) -> LiveOpsManager:
+        """Turn on live operations: hot module upgrades with canary
+        mirroring, and per-frame version lineage (``docs/LIVEOPS.md``).
+
+        One :class:`~repro.liveops.upgrade.LiveOpsManager` serves the home;
+        every current and future pipeline's wiring gets the lineage
+        recorder, so each frame's path records which module and service
+        versions touched it. Live-ops observation is passive (lineage
+        never schedules events, consumes randomness or touches message
+        sizes), so a home with live-ops enabled but no upgrade in flight
+        runs bit-for-bit identically to one without it. Idempotent: a
+        second call returns the existing manager; *policy* sets the default
+        :class:`~repro.liveops.policy.CanaryPolicy` for upgrades that don't
+        pass their own.
+        """
+        if self.liveops is None:
+            self.liveops = LiveOpsManager(self, policy)
+            for pipeline in self.pipelines:
+                pipeline.wiring.lineage = self.liveops.lineage
+            if self.auditor is not None:
+                self.auditor.watch_liveops(self.liveops)
+        return self.liveops
+
+    def upgrade_module(
+        self,
+        pipeline: Pipeline,
+        module_name: str,
+        new_include: str | None = None,
+        params: dict | None = None,
+        version: str | None = None,
+        policy: CanaryPolicy | None = None,
+        module_instance: Module | None = None,
+    ) -> ModuleUpgrade:
+        """Hot-upgrade one module of a running pipeline.
+
+        Deploys the candidate version beside the incumbent on the same
+        device, mirrors live frames to it without touching the credit
+        path, and (with an auto policy, the default) promotes it into the
+        incumbent's address — zero frame loss — or rolls it back based on
+        the mirrored traffic's health. Requires :meth:`enable_liveops`
+        (called implicitly if needed). Returns the
+        :class:`~repro.liveops.upgrade.ModuleUpgrade` handle.
+        """
+        manager = self.enable_liveops()
+        return manager.start_upgrade(
+            pipeline, module_name,
+            new_include=new_include, params=params, version=version,
+            policy=policy, module_instance=module_instance,
+        )
+
+    def liveops_status(self) -> dict:
+        """Live upgrade report: every upgrade's state plus lineage
+        counters. Requires :meth:`enable_liveops`."""
+        if self.liveops is None:
+            raise ConfigError("call enable_liveops() before liveops_status()")
+        return self.liveops.status()
 
     def slo_status(self) -> dict:
         """Live SLO report: per-pipeline state, ladder depth and
@@ -770,6 +833,8 @@ class VideoPipe:
             self.optimizer.watch(pipeline)
         if self.tracer is not None:
             pipeline.wiring.tracer = self.tracer
+        if self.liveops is not None:
+            pipeline.wiring.lineage = self.liveops.lineage
         if self.auditor is not None:
             self.auditor.watch_metrics(pipeline.metrics)
         if self.monitor is not None:

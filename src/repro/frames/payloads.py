@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from .arena import MIGRATED
+from .arena import MIGRATED, RELEASED
 from .codec import EncodedFrame, decode_frame, encode_frame
 from .frame import FrameRef, VideoFrame
 from .framestore import FrameStore
@@ -97,6 +97,34 @@ def collect_leaves(payload: Any, predicate: Callable[[Any], bool]) -> list[Any]:
 def frame_refs_in(payload: Any) -> list[FrameRef]:
     """Every :class:`FrameRef` appearing in the payload."""
     return collect_leaves(payload, lambda leaf: isinstance(leaf, FrameRef))
+
+
+def frame_ids_in(payload: Any) -> list[int]:
+    """Every distinct ``frame_id`` appearing in the payload, in traversal
+    order.
+
+    Frame identity travels as a ``"frame_id"`` key in payload dicts — at
+    the top level for simple module messages, nested for batched or
+    enveloped payloads (``{"batch": [{"frame_id": ...}, ...]}``). Drop
+    paths (mailbox drains, dead letters, migration salvage) must account
+    *every* frame a payload carried, so this walks containers the same way
+    :func:`release_refs` walks for refs rather than peeking only at the
+    top-level dict.
+    """
+    ids: list[int] = []
+    seen: set[int] = set()
+    stack = [payload]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            frame_id = node.get("frame_id")
+            if isinstance(frame_id, int) and frame_id not in seen:
+                seen.add(frame_id)
+                ids.append(frame_id)
+            stack.extend(node.values())
+        elif isinstance(node, (list, tuple)):
+            stack.extend(node)
+    return ids
 
 
 def resolve_refs(payload: Any, store: FrameStore) -> Any:
@@ -195,12 +223,20 @@ def decode_frames_inline(payload: Any) -> tuple[Any, float]:
     return map_leaves(payload, land), total_cost
 
 
-def release_refs(payload: Any, store: FrameStore) -> int:
-    """Release every ref in *payload* held in *store*; returns the count."""
+def release_refs(
+    payload: Any, store: FrameStore, reason: str = RELEASED
+) -> int:
+    """Release every ref in *payload* held in *store*; returns the count.
+
+    *reason* labels the arena-slot retirement when the store is
+    arena-backed: migration drains pass
+    :data:`~repro.frames.arena.MIGRATED` so a stale handle kept across the
+    move reports use-after-migrate, not double-release.
+    """
     count = 0
     for ref in frame_refs_in(payload):
         if ref.device == store.device:
-            store.release(ref)
+            store.release(ref, reason=reason)
             count += 1
     return count
 

@@ -1,0 +1,26 @@
+"""Live operations: versioning, canary mirroring, hot module upgrades,
+and per-frame version lineage (``docs/LIVEOPS.md``)."""
+
+from .lineage import LineageRecorder
+from .policy import CanaryPolicy
+from .upgrade import (
+    MIRRORING,
+    PROMOTED,
+    ROLLED_BACK,
+    CanarySinkModule,
+    LiveOpsManager,
+    MirrorTap,
+    ModuleUpgrade,
+)
+
+__all__ = [
+    "CanaryPolicy",
+    "CanarySinkModule",
+    "LineageRecorder",
+    "LiveOpsManager",
+    "MIRRORING",
+    "MirrorTap",
+    "ModuleUpgrade",
+    "PROMOTED",
+    "ROLLED_BACK",
+]

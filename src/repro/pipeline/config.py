@@ -28,6 +28,8 @@ class ModuleConfig:
         next_modules: downstream module names (the DAG's out-edges).
         device: optional placement pin to a specific device.
         params: constructor parameters for the module class.
+        version: the module code's version label, surfaced in wiring,
+            lineage records and upgrade bookkeeping (``docs/LIVEOPS.md``).
     """
 
     name: str
@@ -37,12 +39,15 @@ class ModuleConfig:
     next_modules: list[str] = field(default_factory=list)
     device: str | None = None
     params: dict[str, Any] = field(default_factory=dict)
+    version: str = "v1"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigError("module entry needs a name")
         if not self.include:
             raise ConfigError(f"module {self.name!r} needs an include reference")
+        if not self.version:
+            raise ConfigError(f"module {self.name!r} needs a non-empty version")
 
 
 @dataclass(slots=True)
@@ -198,6 +203,10 @@ class PipelineConfig:
     ``balancing`` selects the replica-selection policy for this pipeline's
     remote service stubs (see :mod:`repro.services.balancer`); ``None``
     keeps the home default (``fastest``).
+
+    ``version`` labels the application revision as a whole; per-module
+    versions live on each :class:`ModuleConfig` and move independently
+    under hot upgrades (``docs/LIVEOPS.md``).
     """
 
     name: str
@@ -205,10 +214,13 @@ class PipelineConfig:
     source: str | None = None
     service_timeout_s: float | None = None
     balancing: str | None = None
+    version: str = "v1"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigError("pipeline needs a name")
+        if not self.version:
+            raise ConfigError("pipeline needs a non-empty version")
         if self.service_timeout_s is not None and self.service_timeout_s <= 0:
             raise ConfigError("service_timeout_s must be positive")
         if self.balancing is not None:
@@ -255,6 +267,7 @@ class PipelineConfig:
             "source": self.source,
             "service_timeout_s": self.service_timeout_s,
             "balancing": self.balancing,
+            "version": self.version,
             "modules": [
                 {
                     "name": m.name,
@@ -264,6 +277,7 @@ class PipelineConfig:
                     "next_modules": list(m.next_modules),
                     "device": m.device,
                     "params": dict(m.params),
+                    "version": m.version,
                 }
                 for m in self.modules
             ],
@@ -278,7 +292,7 @@ def config_from_dict(data: dict[str, Any]) -> PipelineConfig:
     for entry in data.get("modules", []):
         unknown = set(entry) - {
             "name", "include", "services", "service", "endpoint",
-            "next_modules", "next_module", "device", "params",
+            "next_modules", "next_module", "device", "params", "version",
         }
         if unknown:
             raise ConfigError(f"unknown module config keys: {sorted(unknown)}")
@@ -297,10 +311,12 @@ def config_from_dict(data: dict[str, Any]) -> PipelineConfig:
                 next_modules=list(next_modules),
                 device=entry.get("device"),
                 params=dict(entry.get("params", {})),
+                version=entry.get("version", "v1"),
             )
         )
     return PipelineConfig(
         name=data["name"], modules=modules, source=data.get("source"),
         service_timeout_s=data.get("service_timeout_s"),
         balancing=data.get("balancing"),
+        version=data.get("version", "v1"),
     )

@@ -13,6 +13,8 @@ from typing import TYPE_CHECKING
 
 from ..devices.device import Device
 from ..errors import DeploymentError
+from ..frames.arena import MIGRATED
+from ..frames.payloads import frame_ids_in, release_refs
 from ..metrics.collector import MetricsCollector
 from ..net.address import Address, parse_endpoint
 from ..net.transport import Transport
@@ -70,6 +72,7 @@ class Deployer:
         wiring.source_module = config.source_module
         for module_cfg in config.modules:
             wiring.next_modules[module_cfg.name] = list(module_cfg.next_modules)
+            wiring.versions[module_cfg.name] = module_cfg.version
             wiring.addresses[module_cfg.name] = self._resolve_address(
                 module_cfg.endpoint, placement.device_of(module_cfg.name)
             )
@@ -108,11 +111,34 @@ class Deployer:
                 )
         except Exception:
             # roll back partial deployments so a failed deploy leaves the
-            # home clean
-            for name, dep in deployed.items():
+            # home clean: stop what init may have started (a source module
+            # keeps capturing otherwise), unbind, and drain any mailbox
+            # content with crash semantics (drop_queued_events) — refs
+            # released, carried frames accounted as dropped
+            for name in reversed(list(deployed)):
+                dep = deployed[name]
+                shutdown = getattr(dep.module, "shutdown", None)
+                if callable(shutdown):
+                    shutdown(dep.ctx)
                 dep.runtime.undeploy(name)
+                seen_frames: set[int] = set()
+                for event in dep.mailbox.drain():
+                    release_refs(
+                        event.payload, dep.runtime.device.frame_store
+                    )
+                    for frame_id in frame_ids_in(event.payload):
+                        if frame_id not in seen_frames:
+                            seen_frames.add(frame_id)
+                            dep.ctx.frame_dropped(frame_id)
             raise
-        return Pipeline(config, placement, wiring, deployed)
+        for module_cfg in config.modules:
+            wiring.metrics.increment(
+                f"module_version.{module_cfg.name}.{module_cfg.version}"
+            )
+        return Pipeline(
+            config, placement, wiring, deployed,
+            prefer_local_services=prefer_local_services,
+        )
 
     # -- migration -----------------------------------------------------------------
     def migrate(self, pipeline: Pipeline, module_name: str,
@@ -134,8 +160,6 @@ class Deployer:
         must survive live migration should enable the video source's
         ``credit_timeout_s`` watchdog.
         """
-        from ..frames.payloads import release_refs
-
         old_deployed = pipeline.module(module_name)
         module_cfg = pipeline.config.module(module_name)
         source_device = pipeline.placement.device_of(module_name)
@@ -154,10 +178,16 @@ class Deployer:
         dropped = old_deployed.mailbox.drain()
         seen_frames: set[int] = set()
         for event in dropped:
-            release_refs(event.payload, old_runtime.device.frame_store)
-            payload = event.payload
-            if isinstance(payload, dict) and "frame_id" in payload:
-                frame_id = payload["frame_id"]
+            # the frames are leaving this device: retire their arena slots
+            # as MIGRATED so a stale handle reports use-after-migrate
+            release_refs(
+                event.payload, old_runtime.device.frame_store,
+                reason=MIGRATED,
+            )
+            # frame ids may be nested (batched/enveloped payloads) — walk
+            # the payload like release_refs does, or each missed frame
+            # leaks a frames_in_flight slot forever
+            for frame_id in frame_ids_in(event.payload):
                 if frame_id not in seen_frames:
                     seen_frames.add(frame_id)
                     old_deployed.ctx.frame_dropped(frame_id)
@@ -169,14 +199,7 @@ class Deployer:
             target_device, self.transport.ephemeral_port(target_device)
         )
         pipeline.wiring.addresses[module_name] = new_address
-        stubs = {
-            service: make_stub(
-                self.kernel, self.transport, self.registry, target, service,
-                balancing=pipeline.config.balancing or "fastest",
-                timeout_s=pipeline.config.service_timeout_s,
-            )
-            for service in module_cfg.services
-        }
+        stubs = self._build_stubs(pipeline, module_cfg, target)
         new_deployed = target.runtime.deploy(
             module_name, old_deployed.module, new_address, pipeline.wiring,
             stubs, run_init=False,
@@ -185,7 +208,75 @@ class Deployer:
         pipeline._deployed[module_name] = new_deployed
         pipeline.metrics.increment("migrations")
 
+    # -- in-place swap (hot upgrade promotion) -----------------------------------
+    def swap_module(
+        self,
+        pipeline: Pipeline,
+        module_name: str,
+        new_instance: Module,
+        version: str,
+        run_init: bool = False,
+    ) -> None:
+        """Atomically replace *module_name*'s instance in place.
+
+        The hot-upgrade promotion primitive (``docs/LIVEOPS.md``): the new
+        instance takes over the **same address** on the **same device**
+        within one kernel callback, so peers keep routing unchanged and
+        messages in flight deliver to the new version. Unlike
+        :meth:`migrate`, events still queued in the old mailbox are *not*
+        dropped — they are re-enqueued into the new instance's mailbox in
+        order (same device, so their frame references stay valid): a swap
+        loses no admitted frame.
+
+        ``run_init=False`` (the default) re-hosts an instance that already
+        ran ``init`` — the canary path warms v2 as a shadow deployment
+        before promoting it.
+        """
+        old_deployed = pipeline.module(module_name)
+        module_cfg = pipeline.config.module(module_name)
+        runtime = old_deployed.runtime
+        address = old_deployed.address
+        runtime.undeploy(module_name)
+        salvaged = old_deployed.mailbox.drain()
+        shutdown = getattr(old_deployed.module, "shutdown", None)
+        if callable(shutdown):
+            shutdown(old_deployed.ctx)
+        stubs = self._build_stubs(pipeline, module_cfg, runtime.device)
+        new_deployed = runtime.deploy(
+            module_name, new_instance, address, pipeline.wiring, stubs,
+            run_init=run_init,
+        )
+        for event in salvaged:
+            new_deployed.mailbox.put(event)
+        new_deployed.max_mailbox_depth = max(
+            new_deployed.max_mailbox_depth, new_deployed.mailbox_depth
+        )
+        pipeline._deployed[module_name] = new_deployed
+        pipeline.wiring.versions[module_name] = version
+        module_cfg.version = version
+        pipeline.metrics.increment(
+            f"module_version.{module_name}.{version}"
+        )
+        if salvaged:
+            pipeline.metrics.increment("swap_salvaged_events", len(salvaged))
+
     # -- helpers -----------------------------------------------------------------
+    def _build_stubs(
+        self, pipeline: Pipeline, module_cfg, device: Device
+    ) -> dict:
+        """Service stubs for *module_cfg* on *device*, honouring the
+        pipeline's deploy-time ``prefer_local_services`` policy — a pure
+        service-oriented pipeline must not silently flip local after a
+        migration or upgrade."""
+        return {
+            service: make_stub(
+                self.kernel, self.transport, self.registry, device, service,
+                prefer_local=pipeline.prefer_local_services,
+                balancing=pipeline.config.balancing or "fastest",
+                timeout_s=pipeline.config.service_timeout_s,
+            )
+            for service in module_cfg.services
+        }
     def _device_of(self, name: str) -> Device:
         try:
             return self.devices[name]

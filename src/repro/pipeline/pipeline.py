@@ -23,12 +23,18 @@ class Pipeline:
         placement: PlacementPlan,
         wiring: PipelineWiring,
         deployed: dict[str, "DeployedModule"],
+        prefer_local_services: bool = True,
     ) -> None:
         self.config = config
         self.placement = placement
         self.wiring = wiring
         self._deployed = deployed
         self.stopped = False
+        #: The deploy-time service-stub policy. Migrations and upgrades
+        #: rebuild stubs with this same policy — a ``False`` (pure
+        #: service-oriented) pipeline must not silently flip to
+        #: local-preferred stubs when a module moves.
+        self.prefer_local_services = prefer_local_services
 
     @property
     def name(self) -> str:
@@ -77,6 +83,7 @@ class Pipeline:
                     "address": str(self.wiring.address_of(name)),
                     "next": self.wiring.downstream_of(name),
                     "events": self._deployed[name].events_processed,
+                    "version": self.wiring.version_of(name),
                 }
                 for name in sorted(self._deployed)
             },

@@ -12,13 +12,15 @@ module's own logic.
 from __future__ import annotations
 
 import inspect
-from typing import TYPE_CHECKING, Any
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..devices.device import Device
 from ..errors import DeploymentError
 from ..frames.payloads import (
     decode_frames_from_wire,
     encode_refs_for_wire,
+    frame_ids_in,
     release_refs,
 )
 from ..net.address import Address
@@ -59,6 +61,15 @@ class DeployedModule:
         self.events_processed = 0
         self.errors: list[Exception] = []
         self.max_mailbox_depth = 0
+        #: Recent per-event sojourn times (enqueue -> handler done), the
+        #: always-on health signal canary upgrades compare v1 vs v2 with.
+        #: Pure bookkeeping: appending never schedules or charges anything.
+        self.handler_samples: deque[float] = deque(maxlen=256)
+        #: Canary mirror tap, or ``None``. When set, every arriving DATA
+        #: event is offered to it after normal enqueue (the tap decides
+        #: whether to copy the event to a shadow deployment — see
+        #: :mod:`repro.liveops.upgrade`).
+        self.mirror: Callable[[ModuleEvent], None] | None = None
 
     @property
     def mailbox_depth(self) -> int:
@@ -132,9 +143,10 @@ class ModuleRuntime:
             seen_frames: set[int] = set()
             for event in deployed.mailbox.drain():
                 release_refs(event.payload, self.device.frame_store)
-                payload = event.payload
-                if isinstance(payload, dict) and "frame_id" in payload:
-                    frame_id = payload["frame_id"]
+                # frame ids may sit below the top level (batched/enveloped
+                # payloads) — walk like release_refs walks, or the metrics
+                # in-flight table leaks one slot per nested frame
+                for frame_id in frame_ids_in(event.payload):
                     if frame_id not in seen_frames:
                         seen_frames.add(frame_id)
                         deployed.ctx.frame_dropped(frame_id)
@@ -239,14 +251,14 @@ class ModuleRuntime:
         if release_local_refs:
             release_refs(payload, self.device.frame_store)
         wiring.metrics.increment("dead_letters")
-        if isinstance(payload, dict) and "frame_id" in payload:
+        for frame_id in frame_ids_in(payload):
             source = self._deployed.get(source_module)
             if source is not None:
-                source.ctx.frame_dropped(payload["frame_id"])
+                source.ctx.frame_dropped(frame_id)
             else:
                 # the sender itself was undeployed meanwhile (its handler
                 # outlived the migration); account on the shared collector
-                wiring.metrics.frame_dropped(payload["frame_id"], self.kernel.now)
+                wiring.metrics.frame_dropped(frame_id, self.kernel.now)
 
     #: Charged bytes for one intra-device hop through the arena frame
     #: plane: the envelope plus one ``(arena_id, offset, generation)``
@@ -323,6 +335,11 @@ class ModuleRuntime:
         deployed.max_mailbox_depth = max(
             deployed.max_mailbox_depth, deployed.mailbox_depth
         )
+        if deployed.mirror is not None and event.kind == DATA:
+            # canary mirroring happens after the normal enqueue so v1's
+            # delivery order is untouched; the tap copies the event to the
+            # shadow deployment on its own (shadow) wiring
+            deployed.mirror(event)
 
     def _worker(self, deployed: DeployedModule):
         module = deployed.module
@@ -334,9 +351,11 @@ class ModuleRuntime:
                 # frame leaves the pipeline here
                 payload = event.payload
                 release_refs(payload, self.device.frame_store)
-                if isinstance(payload, dict) and "frame_id" in payload:
+                dead_ids = frame_ids_in(payload)
+                if dead_ids:
                     deployed.ctx.metrics.increment("dead_letters")
-                    deployed.ctx.frame_dropped(payload["frame_id"])
+                    for frame_id in dead_ids:
+                        deployed.ctx.frame_dropped(frame_id)
                 break
             # land any encoded frames into the local store (decode cost)
             payload, decode_cost, _ = decode_frames_from_wire(
@@ -351,6 +370,9 @@ class ModuleRuntime:
             # + dispatch overhead are all 'time to load the data' (Fig. 6)
             event.dequeued_at = self.kernel.now
             ctx = deployed.ctx
+            lineage = ctx.wiring.lineage
+            if lineage is not None and event.kind == DATA:
+                lineage.touch_event(ctx, payload)
             tracer = ctx.wiring.tracer
             handler_ctx = None
             if tracer is not None:
@@ -391,6 +413,10 @@ class ModuleRuntime:
             if tracer is not None:
                 ctx._trace_root = None
                 ctx._trace_span = None
+            if event.kind == DATA:
+                deployed.handler_samples.append(
+                    self.kernel.now - event.enqueued_at
+                )
             deployed.events_processed += 1
 
     def _wiring_of(self, module_name: str) -> "PipelineWiring":

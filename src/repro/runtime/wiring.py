@@ -32,6 +32,12 @@ class PipelineWiring:
     #: the home's :class:`~repro.trace.recorder.TraceRecorder`, or ``None``
     #: while tracing is off (set by ``VideoPipe.enable_tracing``).
     tracer: Any = None
+    #: module name -> deployed code version (mirrors the module configs at
+    #: deploy time; a hot upgrade rewrites one entry at promotion).
+    versions: dict[str, str] = field(default_factory=dict)
+    #: the home's :class:`~repro.liveops.lineage.LineageRecorder`, or
+    #: ``None`` while lineage is off (set by ``VideoPipe.enable_liveops``).
+    lineage: Any = None
 
     def address_of(self, module_name: str) -> Address:
         try:
@@ -48,10 +54,14 @@ class PipelineWiring:
     def device_of(self, module_name: str) -> str:
         return self.address_of(module_name).device
 
+    def version_of(self, module_name: str) -> str:
+        return self.versions.get(module_name, "v1")
+
     def describe(self) -> dict[str, Any]:
         return {
             "pipeline": self.pipeline_name,
             "modules": {name: str(addr) for name, addr in self.addresses.items()},
             "edges": dict(self.next_modules),
             "source": self.source_module,
+            "versions": dict(self.versions),
         }

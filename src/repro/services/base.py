@@ -50,6 +50,9 @@ class Service:
 
     #: Registry name modules use in ``call_service``.
     name = "service"
+    #: Service code version, recorded in per-frame lineage (which module
+    #: and service versions touched each frame — ``docs/LIVEOPS.md``).
+    version = "v1"
     #: Compute time on the reference desktop for one call.
     reference_cost_s = 0.010
     #: Default port the service binds when hosted (offset per replica).
@@ -106,6 +109,7 @@ class Service:
         """Human-readable service card (used in logs and docs)."""
         return {
             "name": self.name,
+            "version": self.version,
             "reference_cost_s": self.reference_cost_s,
             "class": type(self).__name__,
         }

@@ -1,0 +1,64 @@
+"""Live-ops determinism: idle live-ops is bit-identical; upgrades replay
+exactly under a seed."""
+
+from repro.apps import (
+    FitnessApp,
+    fitness_pipeline_config,
+    install_fitness_services,
+)
+from repro.core import VideoPipe
+from repro.liveops import CanaryPolicy
+
+MODULE = "pose_detector_module"
+
+
+def run(seed=11, liveops=False, upgrade_at=None):
+    home = VideoPipe.paper_testbed(seed=seed)
+    if liveops:
+        home.enable_liveops()
+    services = install_fitness_services(home)
+    app = FitnessApp(home, services)
+    pipeline = app.deploy(fitness_pipeline_config(fps=8.0, duration_s=16.0))
+    up = None
+    if upgrade_at is not None:
+        home.run(until=upgrade_at)
+        up = home.upgrade_module(
+            pipeline, MODULE,
+            policy=CanaryPolicy(min_mirrored=5, decision_timeout_s=8.0),
+        )
+    home.run(until=18.0)
+    return home, pipeline, up
+
+
+def fingerprint(pipeline):
+    metrics = pipeline.metrics
+    return (
+        metrics.counter("frames_entered"),
+        metrics.counter("frames_completed"),
+        metrics.counter("frames_dropped"),
+        tuple(metrics.total_latencies),
+    )
+
+
+class TestIdleLiveOpsIsFree:
+    def test_enabled_but_idle_run_is_bit_for_bit_identical(self):
+        """Lineage recording is passive: a home with live-ops on but no
+        upgrade in flight produces the exact event outcomes of one
+        without it."""
+        _, plain, _ = run(liveops=False)
+        home, observed, _ = run(liveops=True)
+        assert fingerprint(observed) == fingerprint(plain)
+        assert home.liveops.lineage.frame_count > 0  # it did record
+
+
+class TestUpgradeDeterminism:
+    def test_same_seed_same_verdict_same_instant(self):
+        home_a, pipeline_a, up_a = run(liveops=True, upgrade_at=3.0)
+        home_b, pipeline_b, up_b = run(liveops=True, upgrade_at=3.0)
+        assert fingerprint(pipeline_a) == fingerprint(pipeline_b)
+        assert up_a.state == up_b.state
+        assert up_a.reason == up_b.reason
+        assert up_a.decided_at == up_b.decided_at
+        assert up_a.mirrored_frames == up_b.mirrored_frames
+        assert (home_a.liveops.lineage.as_dict()
+                == home_b.liveops.lineage.as_dict())

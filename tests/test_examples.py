@@ -21,6 +21,8 @@ EXPECTED = {
     "monitoring_autoscaling.py": ["autoscaler decisions", "replicas"],
     "object_tracking.py": ["identities discovered", "live tracks"],
     "chaos_fitness.py": ["device_crash -> desktop", "MTTR", "post-recovery"],
+    "canary_upgrade.py": ["auto-promoted", "zero frames lost",
+                          "lineage recorded"],
 }
 
 
