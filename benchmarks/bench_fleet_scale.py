@@ -88,6 +88,83 @@ def test_fleet_scale_placement_ablation(benchmark, tmp_path):
         assert reports[strategy].drop_rate == 0.0, strategy
 
 
+def test_fleet_metro_scale_cloud_assist(benchmark, tmp_path):
+    """Metro scale: a 1000-home fleet spread over 4 worker-process kernels
+    (60 homes / 2 shards in smoke mode), edge-only vs cloud-assist.
+
+    The cloud arm attaches a metro-WAN cloud tier to every home with
+    cost-aware call routing; the report carries fleet-wide p50/p99 from the
+    merged latency samples plus the metered ``cloud_egress_bytes`` and
+    ``cost_per_home``. Set ``REPRO_FLEET_METRO_OUT`` to persist both arms'
+    reports as a JSON artifact (CI uploads it)."""
+    homes = 60 if FAST else 1000
+    shards = 2 if FAST else 4
+    duration_s = 1.0 if FAST else 1.2
+    arms = {"edge_only": False, "cloud_assist": True}
+    reports = {}
+
+    def run():
+        for arm, cloud in arms.items():
+            reports[arm] = run_fleet(FleetConfig(
+                homes=homes, seed=23, shards=shards, cloud=cloud,
+                duration_s=duration_s, tail_s=1.0,
+            ))
+        return reports
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["arm", "frames", "p50 (ms)", "p99 (ms)", "cloud calls",
+         "egress (MB)", "$/home-hr"],
+        [[arm,
+          reports[arm].completed,
+          reports[arm].latency.p50 * 1e3,
+          reports[arm].latency.p99 * 1e3,
+          reports[arm].cloud_calls,
+          reports[arm].cloud_egress_bytes / 1e6,
+          reports[arm].cost_per_home]
+         for arm in arms],
+        title=f"Metro fleet — {homes} homes, {shards} shards",
+        float_format="{:.3f}",
+    ))
+
+    for arm in arms:
+        report = reports[arm]
+        assert report.homes == homes
+        assert report.completed > 0, arm
+        assert report.shards == shards
+        assert sum(report.shard_homes.values()) == homes
+        benchmark.extra_info[f"{arm}_p50_ms"] = round(
+            report.latency.p50 * 1e3, 2)
+        benchmark.extra_info[f"{arm}_p99_ms"] = round(
+            report.latency.p99 * 1e3, 2)
+        benchmark.extra_info[f"{arm}_cost_per_home"] = round(
+            report.cost_per_home, 5)
+    benchmark.extra_info["cloud_egress_bytes"] = (
+        reports["cloud_assist"].cloud_egress_bytes)
+
+    edge, cloud = reports["edge_only"], reports["cloud_assist"]
+    # the cloud tier is used, metered, and billed ...
+    assert cloud.cloud_calls > 0
+    assert cloud.cloud_egress_bytes > 0
+    assert cloud.cost_per_home > edge.cost_per_home
+    assert edge.cloud_egress_bytes == 0
+    # ... and offloading heavy stages from weak hubs pays in tail latency
+    assert cloud.latency.p99 <= edge.latency.p99
+
+    artifact = os.environ.get("REPRO_FLEET_METRO_OUT",
+                              str(tmp_path / "fleet_metro.json"))
+    os.makedirs(os.path.dirname(os.path.abspath(artifact)), exist_ok=True)
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"fast_mode": FAST, "homes": homes, "shards": shards,
+             **{arm: reports[arm].as_dict() for arm in arms}},
+            fh, indent=2,
+        )
+    print(f"metro fleet reports written to {artifact}")
+
+
 def test_fleet_online_optimizer_smoke(benchmark):
     """The online loop at fleet scale: tracing + audit + live re-placement
     enabled for a smaller fleet; the run must stay healthy (no drops, sane

@@ -163,6 +163,36 @@ class VideoPipe:
             raise DeviceError(f"device {spec.name!r} already exists")
         device = Device(self.kernel, spec, self.rng)
         self.topology.attach(spec.name, "wifi")
+        return self._register_device(device)
+
+    def add_cloud_device(
+        self,
+        spec: DeviceSpec | str = "cloud",
+        wan: LinkSpec | None = None,
+    ) -> Device:
+        """Join a cloud-tier device behind the home's access point over a
+        metered WAN uplink (default profile:
+        :data:`~repro.net.link.WAN_METRO`).
+
+        The device behaves like any other — services deploy to it, modules
+        can be placed on it — but it is only reachable across the WAN link,
+        and every byte crossing that link is metered as cloud egress
+        (:meth:`cloud_stats`). The placement optimizer and the
+        ``cost_aware`` balancer price the WAN leg through the topology, so
+        whether a home calls its hub or the cloud falls out of the same
+        cost model as every other decision (``docs/FLEET.md``).
+        """
+        if isinstance(spec, str):
+            spec = make_spec(spec)
+        if spec.name in self.devices:
+            raise DeviceError(f"device {spec.name!r} already exists")
+        device = Device(self.kernel, spec, self.rng)
+        self.topology.add_cloud(spec.name, wan)
+        return self._register_device(device)
+
+    def _register_device(self, device: Device) -> Device:
+        """Shared tail of device admission: runtime, probes, watchers."""
+        spec = device.spec
         self.devices[spec.name] = device
         if self._perf is not None:
             self._apply_perf_to_device(device)
@@ -180,6 +210,28 @@ class VideoPipe:
             if spec.name != self.detector.home_device:
                 self.detector.watch(spec.name)
         return device
+
+    def cloud_stats(self) -> dict:
+        """Cloud-tier accounting for this home: WAN egress bytes, calls
+        served by cloud-hosted services, and their modeled CPU seconds.
+        All zeros while no cloud device is attached."""
+        calls = 0
+        compute_s = 0.0
+        for service_name in self.registry.service_names():
+            for host in self.registry.hosts_of(service_name):
+                if not self.topology.is_cloud(host.device.name):
+                    continue
+                served = host.local_calls + host.remote_calls
+                calls += served
+                compute_s += served * host.device.spec.compute_time(
+                    host.service.reference_cost_s
+                )
+        return {
+            "devices": self.topology.cloud_devices(),
+            "egress_bytes": self.topology.wan_egress_bytes(),
+            "calls": calls,
+            "compute_s": compute_s,
+        }
 
     def device(self, name: str) -> Device:
         try:

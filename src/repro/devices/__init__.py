@@ -2,6 +2,7 @@
 
 from .catalog import (
     CATALOG,
+    cloud_server,
     desktop,
     flagship_phone_2018,
     laptop,
@@ -19,6 +20,7 @@ __all__ = [
     "Cpu",
     "Device",
     "DeviceSpec",
+    "cloud_server",
     "desktop",
     "flagship_phone_2018",
     "laptop",

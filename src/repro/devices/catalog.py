@@ -97,6 +97,24 @@ def smart_fridge(name: str = "fridge") -> DeviceSpec:
     )
 
 
+def cloud_server(name: str = "cloud") -> DeviceSpec:
+    """A shared-cloud-tier slice: a metro edge-datacenter server class far
+    faster than any home device, reachable only across a metered WAN link
+    (:meth:`Topology.add_cloud <repro.net.topology.Topology.add_cloud>`).
+    Many homes call replicas of heavy services hosted here; the fleet cost
+    model bills its CPU seconds and WAN egress per home."""
+    return DeviceSpec(
+        name=name,
+        kind="cloud",
+        cpu_factor=0.4,
+        cores=32,
+        memory_mb=131072,
+        supports_containers=True,
+        os="linux",
+        compute_jitter_cv=0.05,
+    )
+
+
 def smartwatch(name: str = "watch") -> DeviceSpec:
     """The most constrained runtime target."""
     return DeviceSpec(
@@ -120,6 +138,7 @@ CATALOG = {
     "tv": smart_tv_4k,
     "fridge": smart_fridge,
     "watch": smartwatch,
+    "cloud": cloud_server,
 }
 
 

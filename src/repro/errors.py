@@ -121,3 +121,13 @@ class AuditError(ReproError):
 class DeviceError(ReproError):
     """Raised for invalid device operations (deploying a container service
     onto a device without container support, unknown device)."""
+
+
+class FleetShardError(ReproError):
+    """Raised by the fleet shard coordinator when a worker process dies or
+    its kernel raises; names the failed shard so a 4000-home run doesn't
+    fail with a bare pickle traceback."""
+
+    def __init__(self, message: str, shard: int) -> None:
+        super().__init__(message)
+        self.shard = shard

@@ -1,4 +1,4 @@
-"""Fleet-scale simulation: many homes, one kernel (see ``docs/PLACEMENT.md``)."""
+"""Fleet-scale simulation: many homes, sharded kernels (``docs/FLEET.md``)."""
 
 from .harness import (
     STRATEGIES,
@@ -6,13 +6,21 @@ from .harness import (
     FleetConfig,
     FleetReport,
     HomeResult,
+    aggregate_report,
+    home_seed,
     run_fleet,
+)
+from .shard import (
+    FleetShardRunner,
+    ShardResult,
+    shard_assignment,
 )
 from .workload import (
     FleetSinkModule,
     FleetStageModule,
     home_device_kinds,
     home_pipeline_config,
+    install_cloud_services,
     install_home_services,
 )
 
@@ -20,12 +28,18 @@ __all__ = [
     "Fleet",
     "FleetConfig",
     "FleetReport",
+    "FleetShardRunner",
     "FleetSinkModule",
     "FleetStageModule",
     "HomeResult",
     "STRATEGIES",
+    "ShardResult",
+    "aggregate_report",
     "home_device_kinds",
     "home_pipeline_config",
+    "home_seed",
+    "install_cloud_services",
     "install_home_services",
     "run_fleet",
+    "shard_assignment",
 ]

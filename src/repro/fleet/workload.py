@@ -124,6 +124,29 @@ def install_home_services(home, hub_device: str, camera_device: str) -> None:
     )
 
 
+def install_cloud_services(home, wan=None, cloud_device: str = "cloud") -> None:
+    """Attach the cloud tier to one home: a ``cloud`` device behind a
+    metered WAN uplink, hosting replicas of the heavy services.
+
+    The cloud is modeled as an *elastic slice* — each home gets its own
+    device instance and WAN link, so homes never contend in the simulation
+    and per-home results stay shard-invariant; sharedness is expressed in
+    dollars through :class:`~repro.pipeline.optimizer.CloudPricing`
+    (``docs/FLEET.md``). Only the detector and classifier get replicas:
+    the alerter is too cheap for a WAN round trip to ever pay off."""
+    home.add_cloud_device(cloud_device, wan=wan)
+    home.deploy_service(
+        FunctionService("fleet_detector", _detect, reference_cost_s=0.016),
+        cloud_device,
+        port=7920,
+    )
+    home.deploy_service(
+        FunctionService("fleet_classifier", _classify, reference_cost_s=0.006),
+        cloud_device,
+        port=7921,
+    )
+
+
 def home_device_kinds(rng: random.Random) -> list[str]:
     """One home's device mix: a phone camera, a container-capable hub, and
     0–3 extra devices. Deterministic under the caller's seeded *rng*."""

@@ -7,7 +7,15 @@ transport used as the architectural counterexample.
 
 from .address import Address, EndpointSpec, parse_address, parse_endpoint
 from .broker import BrokeredTransport
-from .link import ETHERNET_LAN, LOOPBACK, WIFI_HOME, Link, LinkSpec
+from .link import (
+    ETHERNET_LAN,
+    LOOPBACK,
+    WAN_METRO,
+    WAN_REGIONAL,
+    WIFI_HOME,
+    Link,
+    LinkSpec,
+)
 from .message import KIND_DATA, KIND_REPLY, KIND_REQUEST, KIND_SIGNAL, Message
 from .resilience import CircuitBreaker, CircuitBreakerPolicy, RetryPolicy
 from .rpc import DEFAULT_TIMEOUT_S, RpcClient, RpcServer
@@ -42,6 +50,8 @@ __all__ = [
     "SubSocket",
     "Topology",
     "Transport",
+    "WAN_METRO",
+    "WAN_REGIONAL",
     "WIFI_HOME",
     "WireFormatError",
     "decode",

@@ -59,6 +59,17 @@ WIFI_HOME = LinkSpec(latency_s=0.0012, jitter_cv=0.25, bandwidth_bps=120e6, loss
 ETHERNET_LAN = LinkSpec(latency_s=0.0003, jitter_cv=0.05, bandwidth_bps=1e9)
 LOOPBACK = LinkSpec(latency_s=0.00005, jitter_cv=0.05, bandwidth_bps=20e9)
 
+#: The uplink from a home's access point to a metro-area edge cloud: a few
+#: milliseconds to a nearby point of presence over a fibre last mile. Heavy
+#: services in the shared cloud tier are reachable behind this link; every
+#: byte crossing it is metered as egress (``Topology.wan_egress_bytes``).
+WAN_METRO = LinkSpec(latency_s=0.005, jitter_cv=0.15, bandwidth_bps=300e6, loss_prob=0.001)
+
+#: A conservative regional-cloud profile for ablations: the latency of a
+#: real WAN round trip to a regional datacenter, where shipping frames out
+#: of the home rarely pays off.
+WAN_REGIONAL = LinkSpec(latency_s=0.02, jitter_cv=0.25, bandwidth_bps=100e6, loss_prob=0.003)
+
 
 class Link:
     """A transmission channel bound to the kernel.

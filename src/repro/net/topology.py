@@ -21,7 +21,7 @@ from ..sim.kernel import Kernel
 from ..sim.resources import Resource
 from ..sim.rng import RngStreams, ScopedRng
 from ..sim.signals import Signal
-from .link import LOOPBACK, Link, LinkSpec
+from .link import LOOPBACK, WAN_METRO, Link, LinkSpec
 
 
 class Topology:
@@ -35,6 +35,8 @@ class Topology:
         self._shared_media: dict[str, Resource] = {}
         self._down: set[str] = set()
         self._partitioned: set[str] = set()
+        #: Metered WAN uplinks, keyed by the cloud device behind each.
+        self._wan_links: dict[str, Link] = {}
 
     # -- construction --------------------------------------------------------
     def add_device(self, name: str) -> None:
@@ -63,6 +65,55 @@ class Topology:
             medium=medium,
         )
         self.graph.add_edge(device, ap, link=link)
+
+    def add_cloud(
+        self,
+        name: str = "cloud",
+        spec: LinkSpec | None = None,
+        ap: str | None = None,
+    ) -> Link:
+        """Attach a cloud-tier device behind the access point *ap* (default:
+        the home's only AP) over a dedicated, metered WAN uplink.
+
+        The cloud node is a regular device — services deploy to it and the
+        shortest path from any home device crosses the AP and then the WAN
+        link — but every byte on the WAN link counts toward
+        :meth:`wan_egress_bytes`, which is what the fleet cost model bills
+        as cloud egress. The uplink has its own medium (the last mile is
+        not the home radio), so cloud traffic only contends for Wi-Fi
+        airtime on its in-home hop.
+        """
+        if name in self._wan_links or name in self.graph:
+            raise NetworkError(f"device {name!r} already attached")
+        if ap is None:
+            if not self._shared_media:
+                raise NetworkError("add an access point before add_cloud()")
+            ap = next(iter(self._shared_media))
+        elif ap not in self._shared_media:
+            raise NetworkError(f"unknown wifi network {ap!r}")
+        self.add_device(name)
+        link = Link(
+            self.kernel,
+            spec or WAN_METRO,
+            self.rng.stream(f"wan/{name}"),
+            name=f"{ap}<->{name}",
+        )
+        self.graph.add_edge(ap, name, link=link)
+        self._wan_links[name] = link
+        return link
+
+    def is_cloud(self, name: str) -> bool:
+        """True when *name* is a device attached via :meth:`add_cloud`."""
+        return name in self._wan_links
+
+    def cloud_devices(self) -> list[str]:
+        """Cloud-tier devices, in attachment order."""
+        return list(self._wan_links)
+
+    def wan_egress_bytes(self) -> int:
+        """Total bytes that crossed any metered WAN uplink (both
+        directions — requests out of the home and replies back in)."""
+        return sum(link.bytes_sent for link in self._wan_links.values())
 
     def add_wired(self, a: str, b: str, spec: LinkSpec | None = None) -> None:
         """Connect two devices with a dedicated point-to-point link."""

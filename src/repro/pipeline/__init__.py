@@ -19,6 +19,7 @@ from .dag import (
 from .deployer import Deployer
 from .optimizer import (
     OPTIMIZED,
+    CloudPricing,
     CostModel,
     OnlineOptimizer,
     OptimizedCost,
@@ -47,6 +48,7 @@ __all__ = [
     "AuditConfig",
     "COLOCATED",
     "COST_OPTIMIZED",
+    "CloudPricing",
     "CostModel",
     "Deployer",
     "OPTIMIZED",

@@ -82,6 +82,15 @@ class OptimizerConfig:
         replan_threshold_frac: minimum predicted fractional latency
             improvement before the online optimizer migrates anything —
             the hysteresis that keeps it from chasing noise.
+        cloud_bias_s: latency-equivalent penalty charged per service call
+            that a candidate placement sends to a cloud-tier device (one
+            attached via :meth:`Topology.add_cloud
+            <repro.net.topology.Topology.add_cloud>`). The WAN's latency
+            and bandwidth are already priced through the topology; this
+            knob expresses the *billing* preference — the dollars a cloud
+            call costs that a home call does not — so ablations can steer
+            the search toward or away from the shared tier. 0 (default)
+            prices cloud purely on latency.
     """
 
     edge_bytes: int = 42_000
@@ -94,10 +103,13 @@ class OptimizerConfig:
     seed: int = 0
     replan_interval_s: float = 2.0
     replan_threshold_frac: float = 0.05
+    cloud_bias_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.edge_bytes < 0:
             raise ConfigError("edge_bytes must be >= 0")
+        if self.cloud_bias_s < 0:
+            raise ConfigError("cloud_bias_s must be >= 0")
         if self.fps <= 0:
             raise ConfigError("fps must be positive")
         if self.capacity_weight_s < 0 or self.memory_weight_s < 0:
@@ -116,11 +128,13 @@ class OptimizerConfig:
 
 @dataclass(frozen=True, slots=True)
 class OptimizedCost:
-    """One candidate's score: modeled latency plus capacity/memory penalties."""
+    """One candidate's score: modeled latency plus capacity/memory penalties
+    (and, when ``cloud_bias_s`` is set, a billing penalty per cloud call)."""
 
     latency: PlacementCost
     capacity_penalty_s: float
     memory_penalty_s: float
+    cloud_penalty_s: float = 0.0
 
     @property
     def total(self) -> float:
@@ -128,6 +142,56 @@ class OptimizedCost:
             self.latency.critical_path_s
             + self.capacity_penalty_s
             + self.memory_penalty_s
+            + self.cloud_penalty_s
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CloudPricing:
+    """Dollar rates for the fleet's per-home cost accounting.
+
+    The latency cost model decides *where* work runs; this prices what the
+    chosen split costs, Llama-style ($ per query → $ per home). All rates
+    are hourly so :meth:`home_hourly_cost` reads as a monthly-bill-shaped
+    number regardless of how short the simulated window was.
+
+    Attributes:
+        edge_device_per_hour: amortized hardware + power cost of keeping
+            one home device on ($/device-hour).
+        cloud_cpu_per_hour: price of one busy cloud CPU ($/core-hour of
+            actual compute, i.e. serverless-style billing).
+        egress_per_gb: WAN transfer price per gigabyte crossing the metered
+            uplink (either direction).
+    """
+
+    edge_device_per_hour: float = 0.004
+    cloud_cpu_per_hour: float = 0.15
+    egress_per_gb: float = 0.08
+
+    def __post_init__(self) -> None:
+        if (self.edge_device_per_hour < 0 or self.cloud_cpu_per_hour < 0
+                or self.egress_per_gb < 0):
+            raise ConfigError("pricing rates must be >= 0")
+
+    def home_hourly_cost(
+        self,
+        edge_devices: int,
+        cloud_compute_s: float,
+        egress_bytes: int,
+        window_s: float,
+    ) -> float:
+        """One home's $/hour at the rates observed over *window_s* seconds:
+        edge amortization plus cloud CPU and egress extrapolated from the
+        window to an hour."""
+        if window_s <= 0:
+            raise ConfigError("window_s must be positive")
+        hourly_scale = 3600.0 / window_s
+        cloud_cpu_hours = cloud_compute_s * hourly_scale / 3600.0
+        egress_gb_per_hour = egress_bytes * hourly_scale / 1e9
+        return (
+            self.edge_device_per_hour * edge_devices
+            + self.cloud_cpu_per_hour * cloud_cpu_hours
+            + self.egress_per_gb * egress_gb_per_hour
         )
 
 
@@ -307,12 +371,33 @@ class CostModel(PlacementModel):
                 )
         return penalty
 
+    def cloud_penalty(self, assignments: dict[str, str]) -> float:
+        """Billing penalty: ``cloud_bias_s`` latency-equivalent seconds per
+        service call this candidate routes to a cloud-tier device (the
+        host a co-located or cheapest-remote resolution would pick). The
+        WAN's *latency* is already in the transfer/service terms; this is
+        the dollar preference only."""
+        bias = self.optimizer.cloud_bias_s
+        if bias == 0.0:
+            return 0.0
+        total = 0.0
+        for module_name, device_name in assignments.items():
+            module = self.config.module(module_name)
+            for service_name in module.services:
+                host = self.registry.host_on(service_name, device_name)
+                if host is None:
+                    host = self._best_remote_host(service_name, device_name)
+                if self.topology.is_cloud(host.device.name):
+                    total += bias
+        return total
+
     def score(self, assignments: dict[str, str]) -> OptimizedCost:
         """Full verdict on one candidate placement."""
         return OptimizedCost(
             latency=self.evaluate(assignments),
             capacity_penalty_s=self.capacity_penalty(assignments),
             memory_penalty_s=self.memory_penalty(assignments),
+            cloud_penalty_s=self.cloud_penalty(assignments),
         )
 
 

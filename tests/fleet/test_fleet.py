@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigError
-from repro.fleet import Fleet, FleetConfig, run_fleet
+from repro.fleet import Fleet, FleetConfig, home_seed, run_fleet
 from repro.pipeline import COLOCATED, OPTIMIZED, SINGLE_HOST
 
 
@@ -75,6 +75,42 @@ def test_single_host_is_slower_than_colocated():
     assert colocated.latency.mean < single.latency.mean
 
 
+def test_home_seeds_do_not_collide_across_master_seeds():
+    # regression: the old affine derivation (seed + 101 * index) made home
+    # i under master seed s bit-identical to home i-1 under seed s + 101,
+    # so fleet-level seed-sensitivity comparisons silently reused homes
+    f_a = Fleet(_small(seed=0, homes=3))
+    f_b = Fleet(_small(seed=101, homes=3))
+    assert f_a.home_seeds[1] != f_b.home_seeds[0]
+    assert f_a.home_seeds[2] != f_b.home_seeds[1]
+    # and no collisions anywhere on a seed x index grid
+    grid = {home_seed(s, i) for s in range(20) for i in range(50)}
+    assert len(grid) == 20 * 50
+
+
+def test_run_honors_explicit_horizon():
+    # regression: run(until=...) ran the kernel to the horizon, then the
+    # unbounded drain call ran everything scheduled *after* it anyway
+    cfg = _small(duration_s=2.0, tail_s=1.0)
+    short = Fleet(cfg)
+    short.run(until=0.5)
+    assert short.kernel.now == pytest.approx(0.5)
+    partial = short.report()
+    full = run_fleet(cfg)
+    assert 0 < partial.completed < full.completed
+    # the default run still drains past the capture horizon
+    assert full.completed == sum(len(r.sink_frame_ids) for r in full.results)
+
+
+def test_report_surfaces_plan_fallbacks():
+    report = run_fleet(_small(strategy=OPTIMIZED))
+    fell_back = sum(1 for r in report.results if r.strategy == COLOCATED)
+    assert report.plans_fell_back == fell_back
+    assert report.as_dict()["plans_fell_back"] == fell_back
+    # only an optimized request can "fall back"; colocated is just colocated
+    assert run_fleet(_small(strategy=COLOCATED)).plans_fell_back == 0
+
+
 def test_fleet_config_validation():
     with pytest.raises(ConfigError):
         FleetConfig(homes=0)
@@ -88,6 +124,10 @@ def test_fleet_config_validation():
         FleetConfig(duration_s=0.0)
     with pytest.raises(ConfigError):
         FleetConfig(tail_s=-1.0)
+    with pytest.raises(ConfigError):
+        FleetConfig(shards=0)
+    with pytest.raises(ConfigError):
+        Fleet(FleetConfig(homes=3), home_indices=[0, 5])
 
 
 def test_fleet_shares_one_kernel():
