@@ -27,6 +27,14 @@ from .scene import (
     default_scene,
     scene_pipeline_config,
 )
+from .scenefusion import (
+    SceneFusionModule,
+    ScenePoseEstimatorService,
+    SceneRigModule,
+    SceneTrackModule,
+    install_scene_services,
+    multi_camera_pipeline_config,
+)
 
 __all__ = [
     "DEFAULT_BINDINGS",
@@ -40,6 +48,10 @@ __all__ = [
     "GestureServices",
     "MovingObject",
     "SceneCamera",
+    "SceneFusionModule",
+    "ScenePoseEstimatorService",
+    "SceneRigModule",
+    "SceneTrackModule",
     "default_scene",
     "fall_pipeline_config",
     "scene_pipeline_config",
@@ -47,6 +59,8 @@ __all__ = [
     "gesture_pipeline_config",
     "install_fitness_services",
     "install_gesture_services",
+    "install_scene_services",
+    "multi_camera_pipeline_config",
     "train_activity_recognizer",
     "train_gesture_recognizer",
 ]

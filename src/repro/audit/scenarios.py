@@ -342,6 +342,35 @@ def object_tracking(seed: int):
     return home, run_fn
 
 
+def multi_camera_scene(seed: int):
+    """examples/multi_camera_scene.py: three cameras, fan-in fusion DAG,
+    cross-camera re-ID association against shared ground truth."""
+    from ..apps import install_scene_services, multi_camera_pipeline_config
+    from ..vision import fusion_accuracy
+
+    home = VideoPipe.paper_testbed(seed=seed)
+    home.add_device(DeviceSpec(name="camera", kind="phone", cpu_factor=2.5,
+                               cores=8, supports_containers=False))
+    install_scene_services(home, "desktop")
+    pipeline = home.deploy_pipeline(
+        multi_camera_pipeline_config(fps=8.0, duration_s=DURATION_S)
+    )
+    fusion = pipeline.module_instance("scene_fusion_module")
+    base_run = _run(home, pipeline)
+
+    def run_fn() -> dict:
+        result = base_run()
+        accuracy = fusion_accuracy(fusion.history)
+        result["fusion"] = {
+            "accuracy": accuracy,
+            "tracks": [t.as_dict() for t in fusion.core.tracks()],
+            "scene_graph": fusion.scene_graph(),
+        }
+        return result
+
+    return home, run_fn
+
+
 def chaos_fitness(seed: int):
     """examples/chaos_fitness.py: crash the compute device mid-run, detect,
     evacuate, recover — the drop/failure paths under audit."""
@@ -427,5 +456,6 @@ EXAMPLE_SCENARIOS = {
     "monitoring_autoscaling.py": monitoring_autoscaling,
     "object_tracking.py": object_tracking,
     "chaos_fitness.py": chaos_fitness,
+    "multi_camera_scene.py": multi_camera_scene,
     "canary_upgrade.py": canary_upgrade,
 }

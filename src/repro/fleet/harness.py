@@ -48,9 +48,16 @@ from .workload import (
     home_pipeline_config,
     install_cloud_services,
     install_home_services,
+    install_scene_home_services,
+    scene_home_pipeline_config,
 )
 
 STRATEGIES = (COLOCATED, SINGLE_HOST, COST_OPTIMIZED, OPTIMIZED)
+
+#: Per-home application shapes the harness can run: the linear ``stage``
+#: DAG (camera → detect → classify → alert → sink) or the fan-in ``scene``
+#: DAG (rig → two camera-track branches → fusion sink).
+WORKLOADS = ("stage", "scene")
 
 
 def home_seed(master_seed: int, index: int) -> int:
@@ -110,6 +117,10 @@ class FleetConfig:
             SLO attainment.
         slo_config: controller knobs for the guardian (``None`` keeps
             :class:`~repro.slo.spec.SLOConfig` defaults).
+        workload: per-home application shape — ``"stage"`` (default, the
+            linear camera → detect → classify → alert → sink DAG) or
+            ``"scene"`` (the multi-camera fan-in scene-fusion DAG; the
+            fusion module doubles as the ``sink``).
     """
 
     homes: int = 50
@@ -129,10 +140,15 @@ class FleetConfig:
     optimizer: OptimizerConfig | None = None
     slo: SLO | None = None
     slo_config: SLOConfig | None = None
+    workload: str = "stage"
 
     def __post_init__(self) -> None:
         if self.homes < 1:
             raise ConfigError("homes must be >= 1")
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown fleet workload {self.workload!r}; known: {WORKLOADS}"
+            )
         if self.shards < 1:
             raise ConfigError("shards must be >= 1")
         if self.strategy not in STRATEGIES:
@@ -377,7 +393,10 @@ class Fleet:
             self.homes.append(home)
             device_names = self._add_devices(home, home_device_kinds(mix_rng))
             camera, hub = device_names[0], device_names[1]
-            install_home_services(home, hub, camera)
+            if cfg.workload == "scene":
+                install_scene_home_services(home, hub)
+            else:
+                install_home_services(home, hub, camera)
             if cfg.cloud:
                 install_cloud_services(home, wan=cfg.wan)
             if cfg.audit:
@@ -389,13 +408,22 @@ class Fleet:
             if cfg.slo is not None:
                 home.enable_slo(config=cfg.slo_config, default_slo=cfg.slo)
             fps = cfg.fps_choices[mix_rng.randrange(len(cfg.fps_choices))]
-            pipeline_config = home_pipeline_config(
-                f"home{index}",
-                camera,
-                fps=fps,
-                duration_s=cfg.duration_s,
-                balancing=balancing,
-            )
+            if cfg.workload == "scene":
+                pipeline_config = scene_home_pipeline_config(
+                    f"home{index}",
+                    camera,
+                    fps=fps,
+                    duration_s=cfg.duration_s,
+                    balancing=balancing,
+                )
+            else:
+                pipeline_config = home_pipeline_config(
+                    f"home{index}",
+                    camera,
+                    fps=fps,
+                    duration_s=cfg.duration_s,
+                    balancing=balancing,
+                )
             if cfg.strategy == SINGLE_HOST:
                 # the EdgeEye-style baseline: the whole app on the camera
                 # device, every service call remote

@@ -147,6 +147,39 @@ def install_cloud_services(home, wan=None, cloud_device: str = "cloud") -> None:
     )
 
 
+def install_scene_home_services(home, hub_device: str) -> None:
+    """Deploy one home's services for the *scene* workload: the pose
+    estimator every camera branch calls, containerized on the hub."""
+    from ..apps import install_scene_services
+
+    install_scene_services(home, hub_device, port=7914)
+
+
+def scene_home_pipeline_config(
+    name: str,
+    camera_device: str,
+    fps: float = 8.0,
+    duration_s: float = 4.0,
+    balancing: str | None = None,
+) -> PipelineConfig:
+    """The per-home *scene* DAG: one rig fanning out to two camera-track
+    branches that fan back into one fusion sink — the fan-in counterpart
+    of the linear stage workload. The fusion module is named ``sink`` so
+    the harness reads its ``frame_ids`` like any other home's."""
+    from ..apps import multi_camera_pipeline_config
+
+    return multi_camera_pipeline_config(
+        name=name,
+        cameras=2,
+        fps=fps,
+        duration_s=duration_s,
+        source_device=camera_device,
+        credit_timeout_s=1.0,
+        fusion_name="sink",
+        balancing=balancing,
+    )
+
+
 def home_device_kinds(rng: random.Random) -> list[str]:
     """One home's device mix: a phone camera, a container-capable hub, and
     0–3 extra devices. Deterministic under the caller's seeded *rng*."""

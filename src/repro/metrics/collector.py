@@ -104,6 +104,16 @@ class MetricsCollector:
         """Frames admitted but neither completed nor dropped yet."""
         return len(self._frame_started)
 
+    def frame_in_flight(self, frame_id: int) -> bool:
+        """Whether *frame_id* is admitted and not yet completed or dropped.
+
+        Drain paths (migration, crash, rollback, dead letters) guard their
+        drop accounting on this: in a fan-out/fan-in DAG the same admitted
+        frame can sit in several mailboxes at once, and only its *first*
+        settlement may count — every event copy still releases its own
+        frame references, but the frame leaves the pipeline exactly once."""
+        return frame_id in self._frame_started
+
     def throughput_fps(self, end_time: float, warmup_s: float = 0.0) -> float:
         """Completed frames per second over the measurement window."""
         return self.completions.rate(end_time, warmup_s)

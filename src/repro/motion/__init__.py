@@ -21,6 +21,19 @@ from .exercises import (
     base_pose,
     make_model,
 )
+from .multiview import (
+    BODY_HEIGHT_M,
+    ActorObservation,
+    BodyShape,
+    CameraView,
+    MultiViewScene,
+    WorldActor,
+    camera_from_dict,
+    camera_to_dict,
+    crossing_scene,
+    random_scene,
+    shape_pose,
+)
 from .skeleton import (
     KEYPOINT_INDEX,
     KEYPOINT_NAMES,
@@ -39,6 +52,10 @@ from .trajectory import (
 )
 
 __all__ = [
+    "ActorObservation",
+    "BODY_HEIGHT_M",
+    "BodyShape",
+    "CameraView",
     "Clap",
     "EXERCISES",
     "Fall",
@@ -50,6 +67,7 @@ __all__ = [
     "Lunge",
     "MODEL_BY_NAME",
     "MotionModel",
+    "MultiViewScene",
     "NUM_KEYPOINTS",
     "Pose",
     "SKELETON_EDGES",
@@ -57,12 +75,18 @@ __all__ = [
     "Stand",
     "SubjectParams",
     "Wave",
+    "WorldActor",
     "add_keypoint_jitter",
     "base_pose",
+    "camera_from_dict",
+    "camera_to_dict",
+    "crossing_scene",
     "make_model",
     "place_in_image",
     "pose_sequence_array",
+    "random_scene",
     "random_subject",
     "sample_subject_sequence",
+    "shape_pose",
     "subject_pose",
 ]

@@ -121,14 +121,16 @@ class Deployer:
                 if callable(shutdown):
                     shutdown(dep.ctx)
                 dep.runtime.undeploy(name)
-                seen_frames: set[int] = set()
                 for event in dep.mailbox.drain():
                     release_refs(
                         event.payload, dep.runtime.device.frame_store
                     )
+                    # each event copy owns its refs, but a frame fanned out
+                    # to several mailboxes may only be *dropped* once — the
+                    # in-flight guard makes drop accounting idempotent
+                    # across modules and drain sites
                     for frame_id in frame_ids_in(event.payload):
-                        if frame_id not in seen_frames:
-                            seen_frames.add(frame_id)
+                        if dep.ctx.metrics.frame_in_flight(frame_id):
                             dep.ctx.frame_dropped(frame_id)
             raise
         for module_cfg in config.modules:
@@ -176,7 +178,6 @@ class Deployer:
         old_runtime = old_deployed.runtime
         old_runtime.undeploy(module_name)
         dropped = old_deployed.mailbox.drain()
-        seen_frames: set[int] = set()
         for event in dropped:
             # the frames are leaving this device: retire their arena slots
             # as MIGRATED so a stale handle reports use-after-migrate
@@ -186,10 +187,14 @@ class Deployer:
             )
             # frame ids may be nested (batched/enveloped payloads) — walk
             # the payload like release_refs does, or each missed frame
-            # leaks a frames_in_flight slot forever
+            # leaks a frames_in_flight slot forever. A fan-in module's
+            # mailbox can hold several events for the *same* frame (one
+            # per upstream producer), and the frame may also still reach
+            # the sink through a surviving sibling branch — so each event
+            # releases its own refs, but the drop is only recorded while
+            # the frame is still in flight (first settlement wins)
             for frame_id in frame_ids_in(event.payload):
-                if frame_id not in seen_frames:
-                    seen_frames.add(frame_id)
+                if old_deployed.ctx.metrics.frame_in_flight(frame_id):
                     old_deployed.ctx.frame_dropped(frame_id)
         if dropped:
             pipeline.metrics.increment("migration_dropped_events", len(dropped))

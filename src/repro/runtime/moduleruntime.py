@@ -140,15 +140,16 @@ class ModuleRuntime:
 
         dropped = 0
         for deployed in self._deployed.values():
-            seen_frames: set[int] = set()
             for event in deployed.mailbox.drain():
                 release_refs(event.payload, self.device.frame_store)
                 # frame ids may sit below the top level (batched/enveloped
                 # payloads) — walk like release_refs walks, or the metrics
-                # in-flight table leaks one slot per nested frame
+                # in-flight table leaks one slot per nested frame. A frame
+                # fanned out to several of this device's modules appears in
+                # several mailboxes; the in-flight guard keeps its drop
+                # accounting idempotent across them (first drain wins)
                 for frame_id in frame_ids_in(event.payload):
-                    if frame_id not in seen_frames:
-                        seen_frames.add(frame_id)
+                    if deployed.ctx.metrics.frame_in_flight(frame_id):
                         deployed.ctx.frame_dropped(frame_id)
                 dropped += 1
         return dropped
@@ -252,6 +253,10 @@ class ModuleRuntime:
             release_refs(payload, self.device.frame_store)
         wiring.metrics.increment("dead_letters")
         for frame_id in frame_ids_in(payload):
+            # a sibling fan-out copy (or an earlier drain) may already have
+            # settled this frame — only the first settlement counts
+            if not wiring.metrics.frame_in_flight(frame_id):
+                continue
             source = self._deployed.get(source_module)
             if source is not None:
                 source.ctx.frame_dropped(frame_id)
@@ -355,7 +360,10 @@ class ModuleRuntime:
                 if dead_ids:
                     deployed.ctx.metrics.increment("dead_letters")
                     for frame_id in dead_ids:
-                        deployed.ctx.frame_dropped(frame_id)
+                        # the migration drain (or a fan-out sibling) may
+                        # have settled this frame already
+                        if deployed.ctx.metrics.frame_in_flight(frame_id):
+                            deployed.ctx.frame_dropped(frame_id)
                 break
             # land any encoded frames into the local store (decode cost)
             payload, decode_cost, _ = decode_frames_from_wire(

@@ -31,6 +31,14 @@ from .object_detector import (
     render_scene,
 )
 from .pose_estimator import PoseEstimator, PoseNoiseModel, PoseResult
+from .reid import (
+    FusedTrack,
+    SceneFusionCore,
+    associate_tracklets,
+    embedding_distance,
+    fusion_accuracy,
+    pose_embedding,
+)
 from .repcounter import (
     DEBOUNCE_FRAMES,
     RepCounter,
@@ -47,6 +55,7 @@ __all__ = [
     "ColorHistogramClassifier",
     "DEBOUNCE_FRAMES",
     "Detection",
+    "FusedTrack",
     "IoUTracker",
     "KMeans",
     "KNNClassifier",
@@ -56,20 +65,25 @@ __all__ = [
     "PoseResult",
     "RepBout",
     "RepCounter",
+    "SceneFusionCore",
     "SceneObject",
     "StreamingActivityDetector",
     "StreamingRepCounter",
     "Track",
     "WINDOW_FRAMES",
     "apply_estimator_noise",
+    "associate_tracklets",
     "count_reps_in_labels",
     "detect_face_region",
+    "embedding_distance",
     "frame_feature",
+    "fusion_accuracy",
     "frames_to_matrix",
     "generate_activity_dataset",
     "generate_rep_bouts",
     "hand_regions",
     "normalize_framewise",
+    "pose_embedding",
     "render_scene",
     "sliding_windows",
     "window_feature",

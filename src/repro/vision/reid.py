@@ -1,0 +1,435 @@
+"""Cross-camera re-identification and scene fusion.
+
+The re-ID signal is a *pose embedding*: the vector of skeleton-edge
+lengths of a hip-centred, torso-scaled pose
+(:meth:`repro.motion.skeleton.Pose.normalized`). In the synthetic world a
+camera projection is a uniform scale plus a translation, so the normalized
+pose — and therefore the embedding — is exactly view-invariant: two
+cameras observing the same actor at the same instant compute the same
+vector (up to detector noise). What separates *different* actors is body
+shape (:class:`repro.motion.multiview.BodyShape` limb ratios), which the
+embedding reads out directly.
+
+On top of the embedding sit two pure pieces:
+
+* :func:`associate_tracklets` — greedy agglomerative cross-camera
+  association with a camera-disjointness constraint (two tracklets from
+  the same camera are never the same person). Deterministic and invariant
+  to input order.
+* :class:`SceneFusionCore` — the stateful (but kernel-free) fusion engine:
+  it keeps per-camera tracklet snapshots, associates them into fused
+  world tracks with stable ids, revives recently-lost tracks by embedding
+  similarity (this is what survives per-camera ID switches), and records
+  an assignment history that :func:`fusion_accuracy` scores against
+  ground truth.
+
+Ground-truth actor ids ride along in tracklets/history for *evaluation
+only* — nothing in the association path reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..motion.skeleton import SKELETON_EDGES, Pose
+
+__all__ = [
+    "FusedTrack",
+    "SceneFusionCore",
+    "associate_tracklets",
+    "embedding_distance",
+    "fusion_accuracy",
+    "pose_embedding",
+]
+
+
+def pose_embedding(pose: Pose) -> np.ndarray:
+    """Limb-length embedding: skeleton-edge lengths of the normalized pose.
+
+    One float per edge in :data:`~repro.motion.skeleton.SKELETON_EDGES`.
+    View-invariant in the synthetic geometry (projection is uniform scale +
+    translation); distance between embeddings of differently-shaped actors
+    is bounded below by their limb-ratio gaps."""
+    kp = pose.normalized().keypoints
+    lengths = [float(np.linalg.norm(kp[a] - kp[b])) for a, b in SKELETON_EDGES]
+    return np.asarray(lengths, dtype=float)
+
+
+def embedding_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two embeddings (or world positions)."""
+    return float(np.linalg.norm(np.asarray(a, dtype=float) -
+                                np.asarray(b, dtype=float)))
+
+
+MemberKey = tuple[str, int]  # (camera name, per-camera track id)
+
+
+def associate_tracklets(
+    tracklets: list[tuple[str, int, np.ndarray]],
+    threshold: float,
+) -> list[list[MemberKey]]:
+    """Cluster per-camera tracklets into cross-camera identities.
+
+    ``tracklets`` is a list of ``(camera, track_id, vector)`` — the vector
+    is an embedding (re-ID on) or a world position (re-ID off); the metric
+    is Euclidean either way. Greedy agglomerative union-find: candidate
+    pairs from *different* cameras with distance <= ``threshold`` merge in
+    ascending-distance order, except when the merge would place two
+    tracklets of the same camera in one cluster (one camera never sees the
+    same person twice).
+
+    Deterministic and symmetric in input order: pairs are tie-broken by
+    ``(distance, camera, track_id)`` keys and the output is sorted, so any
+    permutation of ``tracklets`` yields identical clusters."""
+    items = sorted(tracklets, key=lambda t: (t[0], t[1]))
+    n = len(items)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    cameras_of: list[set[str]] = [{items[i][0]} for i in range(n)]
+    pairs: list[tuple[float, str, int, str, int, int, int]] = []
+    for i in range(n):
+        cam_i, tid_i, vec_i = items[i]
+        for j in range(i + 1, n):
+            cam_j, tid_j, vec_j = items[j]
+            if cam_i == cam_j:
+                continue
+            dist = embedding_distance(vec_i, vec_j)
+            if dist <= threshold:
+                pairs.append((dist, cam_i, tid_i, cam_j, tid_j, i, j))
+    pairs.sort(key=lambda p: p[:5])
+    for _dist, _ci, _ti, _cj, _tj, i, j in pairs:
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        if cameras_of[ri] & cameras_of[rj]:
+            continue  # would alias two tracks of one camera
+        parent[rj] = ri
+        cameras_of[ri] = cameras_of[ri] | cameras_of[rj]
+    clusters: dict[int, list[MemberKey]] = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append((items[i][0], items[i][1]))
+    return sorted((sorted(members) for members in clusters.values()),
+                  key=lambda members: members[0])
+
+
+@dataclass(slots=True)
+class FusedTrack:
+    """One world-coordinate identity with cross-camera provenance."""
+
+    fused_id: int
+    vector: np.ndarray  # embedding (re-ID) or world position (degraded)
+    world: tuple[float, float]
+    rooms: tuple[str, ...]
+    provenance: tuple[MemberKey, ...]  # live (camera, track_id) members
+    first_seen_t: float
+    last_seen_t: float
+    updates: int = 1
+
+    def as_dict(self) -> dict:
+        return {
+            "fused_id": self.fused_id,
+            "world": [round(self.world[0], 4), round(self.world[1], 4)],
+            "rooms": list(self.rooms),
+            "provenance": [list(m) for m in self.provenance],
+            "first_seen_t": round(self.first_seen_t, 6),
+            "last_seen_t": round(self.last_seen_t, 6),
+            "updates": self.updates,
+        }
+
+
+class SceneFusionCore:
+    """Kernel-free fusion engine behind ``SceneFusionModule``.
+
+    Feed it per-camera tracklet snapshots via :meth:`update`; it maintains
+    fused identities with stable ids and a camera -> room -> home scene
+    graph. Id stability has three tiers, applied per association round in
+    deterministic cluster order:
+
+    1. a cluster containing members previously assigned to a fused id
+       keeps that id (smallest unclaimed previous id wins),
+    2. otherwise a recently-lost fused track (within ``retention_s``)
+       whose stored vector is within ``revive_factor * threshold`` of the
+       cluster mean is revived — this is what erases per-camera ID
+       switches,
+    3. otherwise a fresh id is minted.
+
+    With ``use_reid=False`` the association vector degrades from the pose
+    embedding to the back-projected world position (threshold
+    ``position_threshold_m``) — the provably-worse arm of the accuracy
+    harness."""
+
+    def __init__(
+        self,
+        use_reid: bool = True,
+        embed_threshold: float = 0.30,
+        position_threshold_m: float = 0.90,
+        retention_s: float = 2.5,
+        revive_factor: float = 1.5,
+        ema: float = 0.30,
+    ) -> None:
+        if not 0.0 < ema <= 1.0:
+            raise ValueError("ema must be in (0, 1]")
+        self.use_reid = use_reid
+        self.embed_threshold = float(embed_threshold)
+        self.position_threshold_m = float(position_threshold_m)
+        self.retention_s = float(retention_s)
+        self.revive_factor = float(revive_factor)
+        self.ema = float(ema)
+        self._snapshots: dict[str, dict] = {}  # camera -> snapshot
+        self._rooms: dict[str, str] = {}  # camera -> room scope
+        self._fused: dict[int, FusedTrack] = {}
+        self._member_fused: dict[MemberKey, int] = {}
+        self._member_seen: dict[MemberKey, float] = {}
+        self._next_id = 1
+        self.updates = 0
+        #: association log for offline scoring: one entry per update with
+        #: the full live assignment [(fused_id, camera, track_id, actor_id)]
+        self.history: list[dict] = []
+
+    @property
+    def threshold(self) -> float:
+        return self.embed_threshold if self.use_reid else self.position_threshold_m
+
+    # -- feeding -----------------------------------------------------------
+
+    def update(self, camera: str, t: float, tracklets: list[dict],
+               room: str = "home") -> list[FusedTrack]:
+        """Ingest one camera's fresh tracklets and re-associate the scene.
+
+        Each tracklet dict needs ``track_id``, ``world`` (floor metres) and
+        — when re-ID is on — ``embedding``; ``actor_id`` is an optional
+        ground-truth hint copied into :attr:`history` for evaluation only.
+        Returns the live fused tracks after the round."""
+        self._snapshots[camera] = {
+            "t": float(t),
+            "tracklets": {int(tr["track_id"]): tr for tr in tracklets},
+        }
+        self._rooms[camera] = room
+        self._associate(float(t))
+        self.updates += 1
+        live = self.live_tracks()
+        self.history.append({
+            "t": float(t),
+            "camera": camera,
+            "assignments": self._assignments(live),
+        })
+        return live
+
+    def _vector_of(self, tracklet: dict) -> np.ndarray:
+        if self.use_reid:
+            return np.asarray(tracklet["embedding"], dtype=float)
+        return np.asarray(tracklet["world"], dtype=float)
+
+    def _associate(self, t: float) -> None:
+        fresh: list[tuple[str, int, np.ndarray]] = []
+        info: dict[MemberKey, dict] = {}
+        for camera in sorted(self._snapshots):
+            snap = self._snapshots[camera]
+            if t - snap["t"] > self.retention_s:
+                continue  # camera went silent; ignore its stale tracklets
+            for tid in sorted(snap["tracklets"]):
+                tracklet = snap["tracklets"][tid]
+                fresh.append((camera, tid, self._vector_of(tracklet)))
+                info[(camera, tid)] = tracklet
+        clusters = associate_tracklets(fresh, self.threshold)
+        vectors = {(cam, tid): vec for cam, tid, vec in fresh}
+
+        claimed: set[int] = set()
+        new_fused: dict[int, FusedTrack] = {}
+        # larger clusters claim first: the cluster holding most of an
+        # identity's members keeps its fused id even if a straggler split off
+        clusters.sort(key=lambda members: (-len(members), members[0]))
+        for members in clusters:
+            mean_vec = np.mean([vectors[m] for m in members], axis=0)
+            worlds = [info[m]["world"] for m in members]
+            world = (float(np.mean([w[0] for w in worlds])),
+                     float(np.mean([w[1] for w in worlds])))
+            fid = self._claim_id(members, mean_vec, t, claimed)
+            claimed.add(fid)
+            previous = self._fused.get(fid)
+            if previous is not None:
+                vector = (1.0 - self.ema) * previous.vector + self.ema * mean_vec
+                first_seen = previous.first_seen_t
+                updates = previous.updates + 1
+            else:
+                vector = mean_vec
+                first_seen = t
+                updates = 1
+            rooms = tuple(sorted({self._rooms.get(cam, "home")
+                                  for cam, _tid in members}))
+            new_fused[fid] = FusedTrack(
+                fused_id=fid, vector=vector, world=world, rooms=rooms,
+                provenance=tuple(members), first_seen_t=first_seen,
+                last_seen_t=t, updates=updates,
+            )
+            for member in members:
+                self._member_fused[member] = fid
+                self._member_seen[member] = t
+        # retain recently-lost fused tracks for revival, drop the rest
+        for fid, track in self._fused.items():
+            if fid in new_fused:
+                continue
+            if t - track.last_seen_t <= self.retention_s:
+                new_fused[fid] = FusedTrack(
+                    fused_id=fid, vector=track.vector, world=track.world,
+                    rooms=track.rooms, provenance=(),
+                    first_seen_t=track.first_seen_t,
+                    last_seen_t=track.last_seen_t, updates=track.updates,
+                )
+        self._fused = new_fused
+        horizon = 2.0 * self.retention_s
+        for member in [m for m, seen in self._member_seen.items()
+                       if t - seen > horizon]:
+            self._member_seen.pop(member, None)
+            self._member_fused.pop(member, None)
+
+    def _claim_id(self, members: list[MemberKey], mean_vec: np.ndarray,
+                  t: float, claimed: set[int]) -> int:
+        votes: dict[int, int] = {}
+        for member in members:
+            fid = self._member_fused.get(member)
+            if fid is not None and fid not in claimed:
+                votes[fid] = votes.get(fid, 0) + 1
+        if votes:
+            return min(sorted(votes), key=lambda fid: (-votes[fid], fid))
+        revived = self._revive(mean_vec, t, claimed)
+        if revived is not None:
+            return revived
+        fid = self._next_id
+        self._next_id += 1
+        return fid
+
+    def _revive(self, mean_vec: np.ndarray, t: float,
+                claimed: set[int]) -> int | None:
+        limit = self.threshold * self.revive_factor
+        best: tuple[float, int] | None = None
+        for fid in sorted(self._fused):
+            if fid in claimed:
+                continue
+            track = self._fused[fid]
+            if track.provenance:  # still live, not a revival candidate
+                continue
+            if t - track.last_seen_t > self.retention_s:
+                continue
+            dist = embedding_distance(mean_vec, track.vector)
+            if dist <= limit and (best is None or (dist, fid) < best):
+                best = (dist, fid)
+        return best[1] if best is not None else None
+
+    # -- reading -----------------------------------------------------------
+
+    def live_tracks(self) -> list[FusedTrack]:
+        """Fused tracks currently backed by live per-camera members."""
+        return [self._fused[fid] for fid in sorted(self._fused)
+                if self._fused[fid].provenance]
+
+    def tracks(self) -> list[FusedTrack]:
+        """All retained fused tracks, including recently-lost ones."""
+        return [self._fused[fid] for fid in sorted(self._fused)]
+
+    def live_member_ids(self, camera: str) -> list[int]:
+        snap = self._snapshots.get(camera)
+        return sorted(snap["tracklets"]) if snap else []
+
+    def scene_graph(self) -> dict:
+        """Hierarchical camera -> room -> home view of the live scene."""
+        rooms: dict[str, dict[str, list[int]]] = {}
+        for camera in sorted(self._snapshots):
+            room = self._rooms.get(camera, "home")
+            members: list[int] = []
+            for track in self.live_tracks():
+                members.extend(tid for cam, tid in track.provenance
+                               if cam == camera)
+            rooms.setdefault(room, {})[camera] = sorted(members)
+        return {
+            "home": {room: rooms[room] for room in sorted(rooms)},
+            "tracks": [track.as_dict() for track in self.live_tracks()],
+        }
+
+    def _assignments(self, live: list[FusedTrack]) -> list[list]:
+        rows: list[list] = []
+        for track in live:
+            for camera, tid in track.provenance:
+                snap = self._snapshots.get(camera, {"tracklets": {}})
+                tracklet = snap["tracklets"].get(tid, {})
+                rows.append([track.fused_id, camera, tid,
+                             tracklet.get("actor_id")])
+        rows.sort(key=lambda r: (r[0], r[1], r[2]))
+        return rows
+
+
+def fusion_accuracy(history: list[dict]) -> dict:
+    """Score an association history against the ground-truth actor hints.
+
+    MOTA-style identity bookkeeping over the per-update assignment log:
+
+    * ``id_switches`` — per ground-truth actor, count changes of the fused
+      id that holds the majority of the actor's live members (ties break
+      to the smallest fused id). Zero means every actor kept one fused
+      identity for the whole run.
+    * ``precision`` / ``recall`` — over cross-camera *pairs*: a predicted
+      pair is two same-fused-id members on different cameras; it is
+      correct when both members observe the same actor. The truth set is
+      every co-visible cross-camera pair of the same actor. Precision =
+      correct / predicted, recall = correct / truth (vacuously 1.0 when
+      the denominator is empty).
+
+    Entries sharing an update timestamp are collapsed to the last one
+    (each fan-in event re-reports the whole scene)."""
+    by_t: dict[float, list[list]] = {}
+    for entry in history:
+        by_t[entry["t"]] = entry["assignments"]
+    id_switches = 0
+    pairs_predicted = 0
+    pairs_correct = 0
+    pairs_truth = 0
+    last_fid: dict[int, int] = {}
+    for t in sorted(by_t):
+        assignments = [row for row in by_t[t] if row[3] is not None]
+        votes: dict[int, dict[int, int]] = {}
+        members_by_actor: dict[int, list[tuple[str, int]]] = {}
+        members_by_fid: dict[int, list[tuple[str, int]]] = {}
+        for fid, camera, tid, actor in assignments:
+            votes.setdefault(actor, {})
+            votes[actor][fid] = votes[actor].get(fid, 0) + 1
+            members_by_actor.setdefault(actor, []).append((camera, actor))
+            members_by_fid.setdefault(fid, []).append((camera, actor))
+        for actor in sorted(votes):
+            majority = min(sorted(votes[actor]),
+                           key=lambda fid: (-votes[actor][fid], fid))
+            if actor in last_fid and last_fid[actor] != majority:
+                id_switches += 1
+            last_fid[actor] = majority
+        for fid in sorted(members_by_fid):
+            members = members_by_fid[fid]
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    if members[i][0] == members[j][0]:
+                        continue
+                    pairs_predicted += 1
+                    if members[i][1] == members[j][1]:
+                        pairs_correct += 1
+        for actor in sorted(members_by_actor):
+            members = members_by_actor[actor]
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    if members[i][0] != members[j][0]:
+                        pairs_truth += 1
+    return {
+        "id_switches": id_switches,
+        "precision": (pairs_correct / pairs_predicted
+                      if pairs_predicted else 1.0),
+        "recall": pairs_correct / pairs_truth if pairs_truth else 1.0,
+        "pairs_predicted": pairs_predicted,
+        "pairs_correct": pairs_correct,
+        "pairs_truth": pairs_truth,
+        "frames": len(by_t),
+    }

@@ -23,6 +23,8 @@ EXPECTED = {
     "chaos_fitness.py": ["device_crash -> desktop", "MTTR", "post-recovery"],
     "canary_upgrade.py": ["auto-promoted", "zero frames lost",
                           "lineage recorded"],
+    "multi_camera_scene.py": ["scene graph", "fused world tracks",
+                              "fusion accuracy vs ground truth"],
 }
 
 
